@@ -1,0 +1,78 @@
+"""Benchmark harness fixtures.
+
+One study run is shared by every benchmark (building the ecosystem and
+crawling it is the expensive part; each bench then measures its own
+analysis stage).  Every bench renders its table/figure with the paper's
+values alongside and registers it with :func:`record_report`; the full
+reproduction report is printed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only`` ends with the paper's tables.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — world scale (default 0.1; 1.0 regenerates the
+  full 38K-listing / 205K-post ecosystem);
+* ``REPRO_BENCH_SEED`` — root seed (default 2024);
+* ``REPRO_BENCH_ITERATIONS`` — collection iterations (default 6).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+from repro.analysis import ScamPipelineConfig, ScamPostAnalysis
+from repro.core import Study, StudyConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2024"))
+BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "6"))
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def record_report(title: str, text: str) -> None:
+    """Register a rendered table/figure for the end-of-run summary."""
+    _REPORTS.append((title, text))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> StudyConfig:
+    return StudyConfig(
+        seed=BENCH_SEED, scale=BENCH_SCALE, iterations=BENCH_ITERATIONS
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_config):
+    """The shared study run every benchmark analyses."""
+    return Study(bench_config).run()
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_study):
+    return bench_study.dataset
+
+
+@pytest.fixture(scope="session")
+def bench_scam_report(bench_dataset):
+    """The Section-6 pipeline output, shared by Tables 5 and 6."""
+    analysis = ScamPostAnalysis(ScamPipelineConfig(dbscan_eps=0.9))
+    return analysis.run(bench_dataset)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write(f"REPRODUCTION REPORT  (scale={BENCH_SCALE}, seed={BENCH_SEED}; "
+          "paper values scaled to match)")
+    write("=" * 78)
+    for title, text in sorted(_REPORTS):
+        write("")
+        write(f"--- {title} ---")
+        for line in text.splitlines():
+            write(line)

@@ -1,0 +1,58 @@
+"""Ablation — the Section-9 indicator sets vs the Section-8 baseline.
+
+The paper's platforms actioned only 19.7 % of traded accounts.  This
+bench sweeps the proposed indicator sets against the synthetic ground
+truth to quantify how much of the *scam* population cheap signals
+recover, and what each signal contributes.
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis import NetworkAnalysis
+from repro.analysis.indicators import IndicatorEngine
+
+ABLATIONS = {
+    "all signals": None,  # default enabled set
+    "behavioural only (no referral)": {
+        "scam_content", "follower_anomaly", "trending_name", "coordinated_cluster",
+    },
+    "scam content only": {"scam_content"},
+    "name + followers only": {"trending_name", "follower_anomaly"},
+}
+
+
+def test_ablation_indicators(benchmark, bench_study):
+    dataset = bench_study.dataset
+    world = bench_study.world
+    network = NetworkAnalysis().run(dataset)
+    scammers = {
+        (a.platform.value, a.handle)
+        for a in world.accounts.values() if a.is_scammer
+    }
+
+    def run_all():
+        rows = []
+        for name, enabled in ABLATIONS.items():
+            engine = IndicatorEngine(enabled=enabled)
+            risks = engine.score_dataset(dataset, network)
+            evaluation = IndicatorEngine.evaluate(risks, scammers, threshold=0.8)
+            rows.append((name, evaluation))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["Ablation: Section-9 indicators vs scam ground truth "
+             "(threshold 0.8; platform baseline actioned 19.7%)"]
+    for name, evaluation in rows:
+        lines.append(
+            f"  {name:<32} flagged={evaluation.flagged:>5}  "
+            f"precision={evaluation.precision:.2f}  recall={evaluation.recall:.2f}"
+        )
+    record_report("Ablation: indicators", "\n".join(lines))
+
+    results = dict(rows)
+    behavioural = results["behavioural only (no referral)"]
+    assert behavioural.precision > 0.7
+    assert behavioural.recall > 0.19  # beats the platforms' 19.7% actioned
+    content_only = results["scam content only"]
+    assert content_only.precision >= behavioural.precision - 0.05
+    # Adding signals must not lose recall.
+    assert behavioural.recall >= content_only.recall

@@ -1,0 +1,26 @@
+"""Figure 2 — cumulative vs active listings over collection iterations.
+
+Paper: cumulative listings grow throughout Feb–Jun 2024 while active
+listings dip after a peak — sellers replenish inventory as listings sell
+or go offline.
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis.figures import listing_dynamics
+from repro.core.reports import render_fig2
+
+
+def test_fig2_listing_dynamics(benchmark, bench_study):
+    dynamics = benchmark.pedantic(
+        lambda: listing_dynamics(
+            bench_study.active_per_iteration, bench_study.cumulative_per_iteration
+        ),
+        rounds=10, iterations=1,
+    )
+    record_report("Figure 2", render_fig2(dynamics))
+
+    assert dynamics.cumulative_monotonic  # paper: cumulative always grows
+    assert dynamics.active_declines  # paper: active dips after its peak
+    assert dynamics.cumulative[-1] > dynamics.cumulative[0]
+    # Active is always a subset of cumulative.
+    assert all(a <= c for a, c in zip(dynamics.active, dynamics.cumulative))

@@ -1,0 +1,22 @@
+"""Figure 3 — the extreme-price exemplar listing.
+
+Paper: a FameSwap listing with ~1M followers priced at $50M, far beyond
+the $5M maximum of the ordinary high-price block.
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis.figures import fig3_outlier
+from repro.core.reports import render_fig3
+from repro.synthetic import calibration as cal
+
+
+def test_fig3_price_outlier(benchmark, bench_dataset):
+    outlier = benchmark.pedantic(
+        lambda: fig3_outlier(bench_dataset), rounds=5, iterations=1
+    )
+    record_report("Figure 3", render_fig3(outlier))
+
+    assert outlier is not None
+    assert outlier.marketplace == cal.FIG3_OUTLIER_MARKET
+    assert outlier.price_usd == cal.FIG3_OUTLIER_PRICE
+    assert outlier.followers_claimed == cal.FIG3_OUTLIER_FOLLOWERS

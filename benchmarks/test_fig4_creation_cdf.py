@@ -1,0 +1,29 @@
+"""Figure 4 — CDF of account creation dates per platform.
+
+Paper: ~30% of visible accounts created before 2020, >70% within the
+last 3.5 years; TikTok accounts start in 2017; <0.5% of YouTube accounts
+date to 2006–2010.
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis import AccountSetupAnalysis
+from repro.analysis.figures import creation_cdf
+from repro.core.reports import render_fig4
+
+
+def test_fig4_creation_cdf(benchmark, bench_dataset):
+    series = benchmark.pedantic(
+        lambda: creation_cdf(bench_dataset), rounds=3, iterations=1
+    )
+    setup = AccountSetupAnalysis().run(bench_dataset)
+    record_report("Figure 4", render_fig4(setup))
+
+    # CDF sanity + the paper's anchor points.
+    for points in series.values():
+        fractions = [f for _v, f in points]
+        assert fractions == sorted(fractions)
+    pre_2020 = max((f for v, f in series["All"] if v < 2020), default=0.0)
+    assert 0.22 < pre_2020 < 0.38  # paper: ~30%
+    assert setup.creation_by_platform["TikTok"].earliest_year >= 2017
+    assert setup.creation_by_platform["YouTube"].fraction_2006_2010 < 0.02
+    assert setup.creation_overall.recent_fraction > 0.6  # paper: >70%

@@ -1,0 +1,26 @@
+"""Pipeline throughput — how fast the measurement stack itself runs.
+
+Not a paper table: this times the end-to-end study (world build, full
+multi-iteration crawl of 11 marketplaces, platform-API collection,
+underground manual protocol, status sweep) at a small scale, so
+regressions in the crawler or substrate show up in benchmark history.
+"""
+
+from benchmarks.conftest import record_report
+from repro.core import Study, StudyConfig
+
+
+def test_pipeline_throughput(benchmark):
+    def run_study():
+        return Study(StudyConfig(seed=99, scale=0.02, iterations=3)).run()
+
+    result = benchmark.pedantic(run_study, rounds=3, iterations=1)
+    summary = result.dataset.summary()
+    pages = sum(r.pages_fetched for r in result.crawl_reports)
+    record_report(
+        "Pipeline throughput",
+        f"scale=0.02 study: {summary}; {pages} pages fetched; "
+        f"{result.simulated_seconds:.0f} simulated seconds of crawling",
+    )
+    assert summary["listings"] > 0
+    assert summary["profiles"] > 0

@@ -1,0 +1,42 @@
+"""Section 4.1 extras — categories, verification, monetization, prices.
+
+Paper: 212 categories (22% untagged, Humor/Memes top); 185 verified
+claims, all YouTube, none with profile URLs; 164 monetized listings
+($1–922/mo, median $136); 63% carry descriptions; platform price medians
+FB $14 / X $17 / IG $298 / TT $755 / YT $759; $64.2M total advertised;
+TikTok grosses the most, Facebook the least; 345 listings above $20K
+(median $45K, max $5M).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, record_report
+from repro.analysis import MarketplaceAnatomy
+from repro.core.reports import render_anatomy_extras
+from repro.synthetic import calibration as cal
+
+
+def test_sec41_anatomy(benchmark, bench_dataset):
+    anatomy = benchmark.pedantic(
+        lambda: MarketplaceAnatomy().run(bench_dataset), rounds=3, iterations=1
+    )
+    record_report("Section 4.1 extras", render_anatomy_extras(anatomy, BENCH_SCALE))
+
+    # Categories.
+    top = [c for c, _n in MarketplaceAnatomy.top_categories(anatomy)]
+    assert top[0] == "Humor/Memes"
+    assert 0.17 < anatomy.uncategorized / anatomy.listings_total < 0.28
+    # Verification.
+    assert set(anatomy.verified_platforms) == {"YouTube"}
+    assert anatomy.verified_with_profile_url == 0
+    # Monetization.
+    low, high = cal.MONETIZED_REVENUE_RANGE
+    assert low <= anatomy.monetized.minimum and anatomy.monetized.maximum <= high
+    assert 60 < anatomy.monetized.median < 280  # paper: $136
+    # Descriptions.
+    assert 0.55 < anatomy.description_count / anatomy.listings_total < 0.72
+    # Prices: medians within 2x, winner and loser as in the paper.
+    for platform, expected in cal.PRICE_MEDIANS.items():
+        measured = anatomy.prices.medians_by_platform[platform]
+        assert expected / 2 <= measured <= expected * 2, platform
+    assert anatomy.prices.top_platform == "TikTok"
+    assert anatomy.prices.bottom_platform in ("Facebook", "X")
+    assert anatomy.prices.high_price_max == cal.HIGH_PRICE_MAX

@@ -1,0 +1,31 @@
+"""Section 4.2 — underground marketplaces.
+
+Paper: 65 postings across 6 Tor markets (Nexus largest with 37, We The
+North TikTok-only, Kerberos bulk); 12 of 42 TikTok postings are 88–100%
+similar, traced to 3 authors; reuse also on Instagram (2/13), X (1/3),
+YouTube (3/7); two seller usernames recur across markets.
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis import UndergroundAnalysis
+from repro.core.reports import render_underground
+from repro.synthetic import calibration as cal
+
+
+def test_sec42_underground(benchmark, bench_dataset):
+    report = benchmark.pedantic(
+        lambda: UndergroundAnalysis().run(bench_dataset.underground),
+        rounds=3, iterations=1,
+    )
+    record_report("Section 4.2", render_underground(report))
+
+    assert report.total_posts == cal.UNDERGROUND_TOTAL_POSTS
+    assert report.most_active_market == "Nexus"
+    assert report.markets["We The North"].platforms == ("TikTok",)
+    tiktok = report.reuse_by_platform["TikTok"]
+    assert abs(tiktok.reused_posts - cal.UNDERGROUND_TIKTOK_REUSED) <= 3
+    assert tiktok.max_similarity == 1.0  # the verbatim pair
+    assert tiktok.min_similarity >= 0.85
+    assert len(report.cross_market_sellers) >= cal.UNDERGROUND_CROSS_MARKET_SELLERS
+    low, high = report.mean_words_range
+    assert cal.UNDERGROUND_POST_WORDS[0] <= low <= high <= cal.UNDERGROUND_POST_WORDS[1]

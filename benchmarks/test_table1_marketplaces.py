@@ -1,0 +1,27 @@
+"""Table 1 — sellers and listings per public marketplace.
+
+Paper: 38,253 listings from 9,944 sellers across 11 marketplaces;
+Accsmarket largest (13,665), FameSeller smallest (109); five markets hide
+seller identity.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, record_report
+from repro.analysis import MarketplaceAnatomy
+from repro.core.reports import render_table1
+from repro.synthetic import calibration as cal
+
+
+def test_table1_marketplaces(benchmark, bench_dataset):
+    anatomy = benchmark.pedantic(
+        lambda: MarketplaceAnatomy().run(bench_dataset), rounds=3, iterations=1
+    )
+    record_report("Table 1", render_table1(anatomy, BENCH_SCALE))
+
+    # Shape: same winner and loser as the paper, same totals within 5%.
+    listings = {m: n for m, (_s, n) in anatomy.table1.items()}
+    assert max(listings, key=listings.get) == "Accsmarket"
+    assert min(listings, key=listings.get) == "FameSeller"
+    expected_total = cal.TOTAL_LISTINGS * BENCH_SCALE
+    assert abs(anatomy.listings_total - expected_total) / expected_total < 0.05
+    for market in cal.SELLER_HIDDEN_MARKETS:
+        assert anatomy.table1[market][0] == 0

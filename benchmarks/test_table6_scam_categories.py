@@ -1,0 +1,43 @@
+"""Table 6 — the six scam categories and sixteen subcategories.
+
+Paper: Financial Scams dominate (2,649 accounts / 8,903 posts, mostly
+crypto), Engagement Bait second (2,300 / 4,597); Impersonation smallest
+(188 / 392).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, record_report
+from repro.core.reports import render_table6
+from repro.synthetic import calibration as cal
+
+
+def _category_posts(report):
+    return {
+        category: sum(p for _a, p in subtypes.values())
+        for category, subtypes in report.table6.items()
+    }
+
+
+def test_table6_scam_categories(benchmark, bench_scam_report):
+    report = bench_scam_report
+    posts_by_category = benchmark.pedantic(
+        lambda: _category_posts(report), rounds=5, iterations=1
+    )
+    record_report("Table 6", render_table6(report, BENCH_SCALE))
+
+    # Shape: all six categories detected; Financial Scams lead in posts;
+    # crypto is the single biggest subtype.
+    assert set(report.table6) == set(cal.SCAM_TAXONOMY)
+    assert max(posts_by_category, key=posts_by_category.get) == "Financial Scams"
+    crypto_posts = report.table6["Financial Scams"]["Crypto Scams"][1]
+    for category, subtypes in report.table6.items():
+        for subtype, (_accounts, posts) in subtypes.items():
+            if subtype != "Crypto Scams":
+                assert crypto_posts >= posts, subtype
+    # Every paper subtype appears with nonzero posts.
+    detected_subtypes = {
+        subtype for subtypes in report.table6.values() for subtype in subtypes
+    }
+    paper_subtypes = {
+        subtype for subtypes in cal.SCAM_TAXONOMY.values() for subtype in subtypes
+    }
+    assert detected_subtypes == paper_subtypes

@@ -1,0 +1,30 @@
+"""Table 9 — trading-channel inventory and triage.
+
+Paper: the search phase produced 58 websites and 9 personal contact
+points; triage (sells accounts + handles publicly visible) left the 11
+public marketplaces that were monitored, plus the underground set.
+"""
+
+from benchmarks.conftest import record_report
+from repro.core.reports import render_table9
+from repro.marketplaces.channels import (
+    CHANNELS,
+    contact_points,
+    monitored_channels,
+    triage,
+    websites,
+)
+from repro.synthetic import calibration as cal
+
+
+def test_table9_channels(benchmark):
+    selected = benchmark.pedantic(lambda: triage(websites()), rounds=10, iterations=1)
+    record_report("Table 9", render_table9(CHANNELS))
+
+    assert len(contact_points()) == cal.CHANNELS_CONTACT_POINTS
+    assert abs(len(websites()) - cal.CHANNELS_TOTAL_SITES) <= 3
+    # 12 qualifying rows -> 11 marketplace brands (accs-market.com and
+    # accsmarket.com are one brand).
+    assert len(selected) == 12
+    monitored = monitored_channels()
+    assert sum(1 for c in monitored if c.category == "Underground") == 6

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Longitudinal operations: checkpointed crawling, persistence, indicators.
+
+The workflow of a deployed measurement: run the multi-iteration crawl
+with a checkpoint (so a crash resumes instead of restarting), persist
+the dataset as JSON-lines, reload it for analysis, and score every
+profile with the Section-9 proactive-detection indicators — comparing
+what the indicators would catch against what the platforms actually
+actioned (Table 8).
+
+Usage::
+
+    python examples/longitudinal_operations.py [--scale 0.04] [--workdir runs/ops]
+"""
+
+import argparse
+import os
+
+from repro import MeasurementDataset, StudyConfig
+from repro.analysis import EfficacyAnalysis, NetworkAnalysis
+from repro.analysis.indicators import IndicatorEngine
+from repro.analysis.sellers import SellerActivityAnalysis
+from repro.core.pipeline import Study
+from repro.crawler.crawler import IterationCrawl
+from repro.crawler.profile_collector import ProfileCollector
+from repro.marketplaces.deploy import deploy_public_marketplaces, set_iteration
+from repro.marketplaces.registry import MARKETPLACES
+from repro.platforms.deploy import deploy_platforms, enable_moderation
+from repro.synthetic import WorldBuilder
+from repro.web.client import ClientConfig, HttpClient
+from repro.web.server import Internet
+
+
+def run_checkpointed_crawl(config: StudyConfig, workdir: str) -> MeasurementDataset:
+    """The study's crawl, interrupted once on purpose, then resumed."""
+    world = WorldBuilder(config.world_config()).build()
+    internet = Internet()
+    platform_sites = deploy_platforms(internet, world, enforce_moderation=False)
+    market_sites = deploy_public_marketplaces(internet, world)
+    client = HttpClient(internet, ClientConfig(per_host_delay_seconds=0.0))
+    seed_urls = {n: f"http://{s.host}/listings" for n, s in market_sites.items()}
+    checkpoint = os.path.join(workdir, "crawl_checkpoint.json")
+
+    half = max(1, config.iterations // 2)
+    print(f"Crawling iterations 0..{half - 1}, then 'crashing' ...")
+    IterationCrawl(
+        client=client, seed_urls=seed_urls,
+        set_iteration=lambda i: set_iteration(market_sites, i),
+        iterations=half, checkpoint_path=checkpoint,
+    ).run()
+    print(f"Resuming from {checkpoint} to iteration {config.iterations - 1} ...")
+    crawl = IterationCrawl(
+        client=client, seed_urls=seed_urls,
+        set_iteration=lambda i: set_iteration(market_sites, i),
+        iterations=config.iterations, checkpoint_path=checkpoint,
+    )
+    dataset = crawl.run()
+    print(f"  cumulative per iteration: {crawl.cumulative_per_iteration}")
+
+    collector = ProfileCollector(client)
+    dataset.profiles, dataset.posts = collector.collect(dataset.listings)
+    enable_moderation(platform_sites)
+    collector.sweep_status(dataset.profiles)
+    return dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.04)
+    parser.add_argument("--seed", type=int, default=424)
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--workdir", default="runs/ops")
+    args = parser.parse_args()
+    os.makedirs(args.workdir, exist_ok=True)
+
+    config = StudyConfig(seed=args.seed, scale=args.scale,
+                         iterations=args.iterations, include_underground=False)
+    dataset = run_checkpointed_crawl(config, args.workdir)
+
+    data_dir = os.path.join(args.workdir, "dataset")
+    dataset.save(data_dir)
+    print(f"Saved {dataset.summary()} to {data_dir}")
+
+    reloaded = MeasurementDataset.load(data_dir)
+    assert reloaded.summary() == dataset.summary()
+    print("Reload check passed.")
+
+    sellers = SellerActivityAnalysis().run(reloaded)
+    print(f"\nSellers: {sellers.sellers_total}; replenishing "
+          f"{sellers.replenishment_share * 100:.0f}%")
+
+    efficacy = EfficacyAnalysis().run(reloaded)
+    print(f"Platforms actioned {efficacy.overall_percent:.1f}% of visible "
+          "accounts (paper: 19.7%).")
+
+    network = NetworkAnalysis().run(reloaded)
+    engine = IndicatorEngine(
+        enabled={"scam_content", "follower_anomaly", "trending_name",
+                 "coordinated_cluster"}
+    )
+    risks = engine.score_dataset(reloaded, network)
+    flagged = [r for r in risks if r.score >= 0.8]
+    print(f"Section-9 behavioural indicators flag {len(flagged)} of "
+          f"{len(risks)} profiles "
+          f"({100 * len(flagged) / max(1, len(risks)):.1f}%) for review:")
+    for risk in sorted(flagged, key=lambda r: -r.score)[:5]:
+        names = ", ".join(sorted(risk.indicator_names))
+        print(f"  {risk.platform:<10} @{risk.handle:<24} score={risk.score:.2f}  [{names}]")
+
+
+if __name__ == "__main__":
+    main()

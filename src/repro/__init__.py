@@ -1,0 +1,48 @@
+"""repro — reproduction of "Exploration of the Dynamics of Buy and Sale of
+Social Media Accounts" (IMC 2025).
+
+The package implements the paper's full measurement pipeline — marketplace
+crawling, platform-API profile collection, underground-forum manual
+collection, and the Section 4–8 analyses — over a deterministic synthetic
+ecosystem calibrated to every marginal the paper publishes (the real
+dataset is gated; see DESIGN.md for the substitution table).
+
+Quickstart::
+
+    from repro import Study, StudyConfig
+    result = Study(StudyConfig(seed=7, scale=0.05)).run()
+    print(result.dataset.summary())
+
+Subpackages
+-----------
+``repro.synthetic``
+    The calibrated world generator (ground truth).
+``repro.web``
+    The in-process web substrate (HTTP, HTML, sites, client).
+``repro.marketplaces`` / ``repro.platforms``
+    The 11 public marketplaces, underground forums, and 5 platforms.
+``repro.crawler``
+    The crawlers and collectors (Figure 1, module 2).
+``repro.nlp``
+    Language detection, embeddings, clustering, keywords, similarity.
+``repro.analysis``
+    The Section 4–8 analyses (Tables 1–8, Figures 2–5).
+``repro.core``
+    Dataset records, the Study pipeline, and table/figure reports.
+"""
+
+from repro.core.dataset import MeasurementDataset
+from repro.core.pipeline import Study, StudyConfig, StudyResult
+from repro.synthetic.world import WorldBuilder, WorldConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MeasurementDataset",
+    "Study",
+    "StudyConfig",
+    "StudyResult",
+    "WorldBuilder",
+    "WorldConfig",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Module 3 of the pipeline: tracking and analysis.
+
+Every analysis consumes only the :class:`~repro.core.dataset.MeasurementDataset`
+(what the crawler and collectors extracted), never the synthetic world's
+ground truth — ground truth is used exclusively by the test suite to
+score these analyses.
+
+* :mod:`repro.analysis.marketplace_anatomy` — Section 4.1 / Tables 1–3;
+* :mod:`repro.analysis.underground_analysis` — Section 4.2;
+* :mod:`repro.analysis.account_setup` — Section 5 / Table 4 / Figure 4;
+* :mod:`repro.analysis.scam_posts` — Section 6 / Tables 5–6;
+* :mod:`repro.analysis.network` — Section 7 / Table 7 / Figure 5;
+* :mod:`repro.analysis.efficacy` — Section 8 / Table 8;
+* :mod:`repro.analysis.figures` — Figure 2 / Figure 4 series builders.
+"""
+
+from repro.analysis.account_setup import AccountSetupAnalysis
+from repro.analysis.efficacy import EfficacyAnalysis
+from repro.analysis.indicators import IndicatorEngine
+from repro.analysis.infrastructure import InfrastructureAnalysis
+from repro.analysis.marketplace_anatomy import MarketplaceAnatomy
+from repro.analysis.network import NetworkAnalysis
+from repro.analysis.scam_posts import ScamPostAnalysis, ScamPipelineConfig
+from repro.analysis.sellers import SellerActivityAnalysis
+from repro.analysis.underground_analysis import UndergroundAnalysis
+
+__all__ = [
+    "AccountSetupAnalysis",
+    "EfficacyAnalysis",
+    "IndicatorEngine",
+    "InfrastructureAnalysis",
+    "MarketplaceAnatomy",
+    "NetworkAnalysis",
+    "ScamPipelineConfig",
+    "ScamPostAnalysis",
+    "SellerActivityAnalysis",
+    "UndergroundAnalysis",
+]

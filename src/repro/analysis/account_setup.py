@@ -1,0 +1,120 @@
+"""Section 5: account setup and engagement of the visible profiles.
+
+Computed from the collected :class:`~repro.core.dataset.ProfileRecord`
+population: locations, affiliated categories, account types, creation
+dates (Figure 4), and follower statistics (Table 4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.dataset import MeasurementDataset, ProfileRecord
+from repro.util.simtime import SimDate
+from repro.util.stats import Summary, counter_topn, summarize
+
+
+@dataclass
+class CreationStats:
+    """Figure-4 aggregates for one platform (or all)."""
+
+    count: int
+    pre_2020_fraction: float
+    recent_fraction: float  # created in the ~3.5y before the study
+    earliest_year: int
+    latest_year: int
+    #: Fraction created 2006–2010 (the YouTube footnote).
+    fraction_2006_2010: float
+
+
+@dataclass
+class AccountSetupReport:
+    profiles_total: int
+    active_total: int
+    locations: Counter
+    location_count: int
+    affiliated: Counter
+    affiliated_count: int
+    account_types: Counter
+    creation_by_platform: Dict[str, CreationStats]
+    creation_overall: CreationStats
+    followers_by_platform: Dict[str, Summary]
+    followers_overall: Summary
+
+
+def _creation_stats(dates: List[SimDate]) -> CreationStats:
+    if not dates:
+        return CreationStats(0, 0.0, 0.0, 0, 0, 0.0)
+    years = [d.year for d in dates]
+    pre_2020 = sum(1 for d in dates if d.year < 2020)
+    recent_floor = SimDate.of(2020, 12, 1)  # 3.5 years before mid-2024
+    recent = sum(1 for d in dates if d >= recent_floor)
+    old_window = sum(1 for d in dates if 2006 <= d.year <= 2010)
+    n = len(dates)
+    return CreationStats(
+        count=n,
+        pre_2020_fraction=pre_2020 / n,
+        recent_fraction=recent / n,
+        earliest_year=min(years),
+        latest_year=max(years),
+        fraction_2006_2010=old_window / n,
+    )
+
+
+class AccountSetupAnalysis:
+    """Computes the Section-5 report from collected profiles."""
+
+    def run(self, dataset: MeasurementDataset) -> AccountSetupReport:
+        profiles = dataset.profiles
+        active = [p for p in profiles if p.is_active]
+        locations = Counter(p.location for p in active if p.location)
+        affiliated = Counter(p.category for p in active if p.category)
+        account_types = Counter(
+            p.account_type for p in active if p.account_type and p.account_type != "standard"
+        )
+        creation_by_platform: Dict[str, CreationStats] = {}
+        all_dates: List[SimDate] = []
+        followers_by_platform: Dict[str, Summary] = {}
+        all_followers: List[int] = []
+        for platform, records in sorted(dataset.profiles_by_platform().items()):
+            dates = [
+                SimDate.parse(r.created)
+                for r in records
+                if r.is_active and r.created
+            ]
+            creation_by_platform[platform] = _creation_stats(dates)
+            all_dates.extend(dates)
+            followers = [
+                r.followers for r in records if r.is_active and r.followers is not None
+            ]
+            if followers:
+                followers_by_platform[platform] = summarize(followers)
+                all_followers.extend(followers)
+        return AccountSetupReport(
+            profiles_total=len(profiles),
+            active_total=len(active),
+            locations=locations,
+            location_count=sum(locations.values()),
+            affiliated=affiliated,
+            affiliated_count=sum(affiliated.values()),
+            account_types=account_types,
+            creation_by_platform=creation_by_platform,
+            creation_overall=_creation_stats(all_dates),
+            followers_by_platform=followers_by_platform,
+            followers_overall=summarize(all_followers)
+            if all_followers
+            else Summary(0, 0, 0, 0, 0, 0),
+        )
+
+    @staticmethod
+    def top_locations(report: AccountSetupReport, n: int = 5) -> List[Tuple[str, int]]:
+        return counter_topn(report.locations, n)
+
+    @staticmethod
+    def top_affiliated(report: AccountSetupReport, n: int = 5) -> List[Tuple[str, int]]:
+        return counter_topn(report.affiliated, n)
+
+
+__all__ = ["AccountSetupAnalysis", "AccountSetupReport", "CreationStats"]

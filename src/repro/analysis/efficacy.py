@@ -1,0 +1,116 @@
+"""Section 8: detection efficacy and abuse control (Table 8).
+
+Counts inactive accounts (Forbidden / Not Found API answers) per
+platform, conservatively treating both platform bans and owner-side
+deletions as "actioned", exactly as the paper does; and checks which
+name tokens are over-represented among blocked accounts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.dataset import MeasurementDataset, ProfileRecord
+from repro.nlp.tokenize import tokenize
+
+#: Trend tokens Section 8 found over-represented in blocked names.
+TREND_TOKENS = ("crypto", "nft", "beauty", "luxury", "animals")
+
+
+@dataclass
+class PlatformEfficacy:
+    """One row of Table 8."""
+
+    platform: str
+    visible_accounts: int
+    inactive_accounts: int
+    forbidden: int  # explicit platform bans (X's 403)
+    not_found: int  # deleted / renamed / invisible bans
+
+    @property
+    def efficacy_percent(self) -> float:
+        if self.visible_accounts == 0:
+            return 0.0
+        return 100.0 * self.inactive_accounts / self.visible_accounts
+
+
+@dataclass
+class EfficacyReport:
+    per_platform: Dict[str, PlatformEfficacy]
+    total_visible: int
+    total_inactive: int
+    #: token -> (share among inactive names, share among active names).
+    trend_token_shares: Dict[str, Tuple[float, float]]
+
+    @property
+    def overall_percent(self) -> float:
+        if self.total_visible == 0:
+            return 0.0
+        return 100.0 * self.total_inactive / self.total_visible
+
+    def best_platform(self) -> str:
+        return max(
+            self.per_platform.values(), key=lambda e: e.efficacy_percent
+        ).platform
+
+    def worst_platform(self) -> str:
+        return min(
+            self.per_platform.values(), key=lambda e: e.efficacy_percent
+        ).platform
+
+
+def _name_blob(profile: ProfileRecord) -> str:
+    return f"{profile.handle} {profile.name or ''}".lower()
+
+
+class EfficacyAnalysis:
+    """Computes Table 8 from collected profile statuses."""
+
+    def run(self, dataset: MeasurementDataset) -> EfficacyReport:
+        per_platform: Dict[str, PlatformEfficacy] = {}
+        total_visible = 0
+        total_inactive = 0
+        inactive_tokens: Counter = Counter()
+        active_tokens: Counter = Counter()
+        inactive_names = 0
+        active_names = 0
+        for platform, profiles in sorted(dataset.profiles_by_platform().items()):
+            # Only Forbidden / Not Found answers are evidence of action;
+            # transport errors ("error") are neither active nor actioned.
+            inactive = [p for p in profiles if p.status in ("forbidden", "not_found")]
+            per_platform[platform] = PlatformEfficacy(
+                platform=platform,
+                visible_accounts=len(profiles),
+                inactive_accounts=len(inactive),
+                forbidden=sum(1 for p in inactive if p.status == "forbidden"),
+                not_found=sum(1 for p in inactive if p.status == "not_found"),
+            )
+            total_visible += len(profiles)
+            total_inactive += len(inactive)
+            for profile in profiles:
+                tokens = set(tokenize(_name_blob(profile)))
+                hits = {t for t in TREND_TOKENS if any(t in tok for tok in tokens)}
+                if profile.is_active:
+                    active_names += 1
+                    active_tokens.update(hits)
+                else:
+                    inactive_names += 1
+                    inactive_tokens.update(hits)
+        trend_shares = {
+            token: (
+                inactive_tokens.get(token, 0) / inactive_names if inactive_names else 0.0,
+                active_tokens.get(token, 0) / active_names if active_names else 0.0,
+            )
+            for token in TREND_TOKENS
+        }
+        return EfficacyReport(
+            per_platform=per_platform,
+            total_visible=total_visible,
+            total_inactive=total_inactive,
+            trend_token_shares=trend_shares,
+        )
+
+
+__all__ = ["EfficacyAnalysis", "EfficacyReport", "PlatformEfficacy", "TREND_TOKENS"]

@@ -1,0 +1,112 @@
+"""Series builders for the paper's figures.
+
+* Figure 2 — cumulative vs active listings per collection iteration;
+* Figure 3 — the extreme-price exemplar listing;
+* Figure 4 — CDF of account-creation dates per platform;
+* Figure 5 — exemplar cluster profile descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.network import NetworkReport
+from repro.core.dataset import ListingRecord, MeasurementDataset
+from repro.util.simtime import SimDate
+from repro.util.stats import cdf_points
+
+
+@dataclass
+class ListingDynamics:
+    """Figure-2 series."""
+
+    iterations: List[int]
+    active: List[int]
+    cumulative: List[int]
+
+    @property
+    def peak_active_iteration(self) -> int:
+        return max(range(len(self.active)), key=lambda i: self.active[i])
+
+    @property
+    def active_declines(self) -> bool:
+        """Does the active curve end below its peak (the Figure-2 dip)?"""
+        if not self.active:
+            return False
+        return self.active[-1] < max(self.active)
+
+    @property
+    def cumulative_monotonic(self) -> bool:
+        return all(b >= a for a, b in zip(self.cumulative, self.cumulative[1:]))
+
+
+def listing_dynamics(active: List[int], cumulative: List[int]) -> ListingDynamics:
+    if len(active) != len(cumulative):
+        raise ValueError("active and cumulative series must align")
+    return ListingDynamics(
+        iterations=list(range(len(active))),
+        active=list(active),
+        cumulative=list(cumulative),
+    )
+
+
+def fig3_outlier(dataset: MeasurementDataset,
+                 threshold: float = 10_000_000.0) -> Optional[ListingRecord]:
+    """The highest-priced listing at/above the outlier threshold."""
+    candidates = [
+        l for l in dataset.listings
+        if l.price_usd is not None and l.price_usd >= threshold
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda l: l.price_usd or 0)
+
+
+def creation_cdf(dataset: MeasurementDataset) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 4: per-platform CDF over creation dates (as year fractions).
+
+    Returns ``{platform: [(year_fraction, cdf), ...]}`` plus an "All"
+    series; year fractions make the x-axis directly plottable.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    all_values: List[float] = []
+    for platform, profiles in sorted(dataset.profiles_by_platform().items()):
+        values = [
+            _year_fraction(SimDate.parse(p.created))
+            for p in profiles
+            if p.is_active and p.created
+        ]
+        if values:
+            series[platform] = cdf_points(values)
+            all_values.extend(values)
+    if all_values:
+        series["All"] = cdf_points(all_values)
+    return series
+
+
+def _year_fraction(date: SimDate) -> float:
+    start = SimDate.of(date.year, 1, 1)
+    return date.year + start.days_until(date) / 366.0
+
+
+def fig5_descriptions(network: NetworkReport, n: int = 3) -> List[str]:
+    """Figure 5: the shared descriptions of the largest clusters."""
+    exemplars = network.exemplars(n)
+    descriptions = []
+    for cluster in exemplars:
+        if cluster.attribute == "description":
+            descriptions.append(cluster.value)
+        else:
+            member = cluster.members[0]
+            descriptions.append(member.description or cluster.value)
+    return descriptions
+
+
+__all__ = [
+    "ListingDynamics",
+    "creation_cdf",
+    "fig3_outlier",
+    "fig5_descriptions",
+    "listing_dynamics",
+]

@@ -1,0 +1,135 @@
+"""Seller activity profiling (Section 10's "Profiling Seller Activity").
+
+The paper's lessons-learned highlights two seller-side behaviours:
+inventory *replenishment* (listings keep arriving to match demand —
+Figure 2's cumulative growth) and *cross-channel operations* (the same
+seller identities active in more than one venue, including identical
+usernames on dark-web and public marketplaces).  This module measures
+both from the collected records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.dataset import ListingRecord, MeasurementDataset, UndergroundRecord
+from repro.util.stats import median
+from repro.util.textutil import slugify
+
+
+@dataclass
+class SellerActivity:
+    """Aggregate activity of one seller."""
+
+    seller_url: str
+    marketplace: str
+    name: str
+    listings: int
+    platforms: Tuple[str, ...]
+    #: Iterations at which this seller's listings first appeared.
+    arrival_iterations: Tuple[int, ...]
+
+    @property
+    def replenishes(self) -> bool:
+        """Did the seller add inventory after their first appearance?"""
+        return len(set(self.arrival_iterations)) > 1
+
+
+@dataclass
+class SellerReport:
+    sellers_total: int
+    activities: List[SellerActivity]
+    #: listings-per-seller distribution summary.
+    listings_per_seller_median: float
+    listings_per_seller_max: int
+    #: Sellers whose listings span >1 platform.
+    multi_platform_sellers: int
+    #: Sellers that added listings in later iterations (replenishment).
+    replenishing_sellers: int
+    #: Seller names appearing in more than one public marketplace.
+    cross_market_names: List[str] = field(default_factory=list)
+    #: Public seller names that also appear as underground authors.
+    public_underground_overlap: List[str] = field(default_factory=list)
+
+    @property
+    def replenishment_share(self) -> float:
+        if not self.sellers_total:
+            return 0.0
+        return self.replenishing_sellers / self.sellers_total
+
+    def top_sellers(self, n: int = 5) -> List[SellerActivity]:
+        return sorted(
+            self.activities, key=lambda a: (-a.listings, a.seller_url)
+        )[:n]
+
+
+def _normalize_name(name: str) -> str:
+    return slugify(name)
+
+
+class SellerActivityAnalysis:
+    """Builds the seller-activity report from listings + seller records."""
+
+    def run(self, dataset: MeasurementDataset) -> SellerReport:
+        names = {s.seller_url: s.name or "" for s in dataset.sellers}
+        grouped: Dict[str, List[ListingRecord]] = {}
+        for listing in dataset.listings:
+            if listing.seller_url:
+                grouped.setdefault(listing.seller_url, []).append(listing)
+        activities = []
+        for seller_url, listings in sorted(grouped.items()):
+            activities.append(
+                SellerActivity(
+                    seller_url=seller_url,
+                    marketplace=listings[0].marketplace,
+                    name=names.get(seller_url, listings[0].seller_name or ""),
+                    listings=len(listings),
+                    platforms=tuple(sorted({
+                        l.platform for l in listings if l.platform
+                    })),
+                    arrival_iterations=tuple(sorted({
+                        l.first_seen_iteration for l in listings
+                    })),
+                )
+            )
+        counts = [a.listings for a in activities]
+        return SellerReport(
+            sellers_total=len(activities),
+            activities=activities,
+            listings_per_seller_median=median(counts) if counts else 0.0,
+            listings_per_seller_max=max(counts) if counts else 0,
+            multi_platform_sellers=sum(
+                1 for a in activities if len(a.platforms) > 1
+            ),
+            replenishing_sellers=sum(1 for a in activities if a.replenishes),
+            cross_market_names=self._cross_market_names(activities),
+            public_underground_overlap=self._underground_overlap(
+                activities, dataset.underground
+            ),
+        )
+
+    @staticmethod
+    def _cross_market_names(activities: List[SellerActivity]) -> List[str]:
+        markets_by_name: Dict[str, set] = {}
+        for activity in activities:
+            key = _normalize_name(activity.name)
+            if key:
+                markets_by_name.setdefault(key, set()).add(activity.marketplace)
+        return sorted(
+            name for name, markets in markets_by_name.items() if len(markets) > 1
+        )
+
+    @staticmethod
+    def _underground_overlap(
+        activities: List[SellerActivity],
+        underground: List[UndergroundRecord],
+    ) -> List[str]:
+        public_names = {_normalize_name(a.name) for a in activities}
+        public_names.discard("")
+        underground_authors = {_normalize_name(u.author) for u in underground}
+        return sorted(public_names & underground_authors)
+
+
+__all__ = ["SellerActivity", "SellerActivityAnalysis", "SellerReport"]

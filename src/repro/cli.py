@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute the full study (crawl, profile collection, underground) and
+    persist the dataset plus run metadata to a directory.
+``report``
+    Load a saved run and render every paper table/figure.
+``tables``
+    One-shot: run a study and print the report without saving.
+``channels``
+    Print the Table-9 trading-channel inventory and triage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    AccountSetupAnalysis,
+    EfficacyAnalysis,
+    MarketplaceAnatomy,
+    NetworkAnalysis,
+    ScamPipelineConfig,
+    ScamPostAnalysis,
+    UndergroundAnalysis,
+)
+from repro.analysis.figures import fig3_outlier, fig5_descriptions, listing_dynamics
+from repro.core import MeasurementDataset, Study, StudyConfig
+from repro.core import reports
+from repro.marketplaces.channels import CHANNELS
+
+META_FILENAME = "study_meta.json"
+
+
+def _study_config(args: argparse.Namespace) -> StudyConfig:
+    return StudyConfig(
+        seed=args.seed,
+        scale=args.scale,
+        iterations=args.iterations,
+        include_underground=not args.no_underground,
+    )
+
+
+def _render_all(dataset: MeasurementDataset, scale: float,
+                meta: Optional[dict] = None, out=None) -> None:
+    """Render every table and figure the analyses support."""
+    stream = out if out is not None else sys.stdout
+
+    def write(text: str) -> None:
+        print(text + "\n", file=stream)
+    anatomy = MarketplaceAnatomy().run(dataset)
+    write(reports.render_table9(CHANNELS))
+    write(reports.render_table1(anatomy, scale))
+    write(reports.render_table2(anatomy, scale))
+    if meta and meta.get("payment_methods"):
+        matrix = MarketplaceAnatomy.payment_matrix(
+            {m: [tuple(p) for p in pairs] for m, pairs in meta["payment_methods"].items()}
+        )
+        write(reports.render_table3(matrix))
+    write(reports.render_anatomy_extras(anatomy, scale))
+    setup = AccountSetupAnalysis().run(dataset)
+    write(reports.render_table4(setup))
+    write(reports.render_fig4(setup))
+    scam = ScamPostAnalysis(ScamPipelineConfig(dbscan_eps=0.9)).run(dataset)
+    write(reports.render_table5(scam, scale))
+    write(reports.render_table6(scam, scale))
+    network = NetworkAnalysis().run(dataset)
+    write(reports.render_table7(network, scale))
+    write(reports.render_fig5(fig5_descriptions(network)))
+    efficacy = EfficacyAnalysis().run(dataset)
+    write(reports.render_table8(efficacy))
+    underground = UndergroundAnalysis().run(dataset.underground)
+    write(reports.render_underground(underground))
+    if meta and meta.get("active_per_iteration"):
+        dynamics = listing_dynamics(
+            meta["active_per_iteration"], meta["cumulative_per_iteration"]
+        )
+        write(reports.render_fig2(dynamics))
+    write(reports.render_fig3(fig3_outlier(dataset)))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = Study(_study_config(args)).run()
+    os.makedirs(args.out, exist_ok=True)
+    result.dataset.save(args.out)
+    meta = {
+        "seed": args.seed,
+        "scale": args.scale,
+        "iterations": args.iterations,
+        "active_per_iteration": result.active_per_iteration,
+        "cumulative_per_iteration": result.cumulative_per_iteration,
+        "payment_methods": {
+            market: [list(pair) for pair in pairs]
+            for market, pairs in result.payment_methods.items()
+        },
+        "simulated_seconds": result.simulated_seconds,
+    }
+    with open(os.path.join(args.out, META_FILENAME), "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+    print(f"saved run to {args.out}: {result.dataset.summary()}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    dataset = MeasurementDataset.load(args.run_dir)
+    meta_path = os.path.join(args.run_dir, META_FILENAME)
+    meta = None
+    if os.path.exists(meta_path):
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    scale = args.scale if args.scale is not None else (meta or {}).get("scale", 1.0)
+    if not dataset.listings:
+        print(f"no dataset found in {args.run_dir}", file=sys.stderr)
+        return 1
+    _render_all(dataset, scale, meta)
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    result = Study(_study_config(args)).run()
+    meta = {
+        "active_per_iteration": result.active_per_iteration,
+        "cumulative_per_iteration": result.cumulative_per_iteration,
+        "payment_methods": {
+            market: [list(pair) for pair in pairs]
+            for market, pairs in result.payment_methods.items()
+        },
+    }
+    _render_all(result.dataset, args.scale, meta)
+    return 0
+
+
+def cmd_channels(_args: argparse.Namespace) -> int:
+    print(reports.render_table9(CHANNELS))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.export import export_figures
+
+    dataset = MeasurementDataset.load(args.run_dir)
+    if not dataset.listings:
+        print(f"no dataset found in {args.run_dir}", file=sys.stderr)
+        return 1
+    meta_path = os.path.join(args.run_dir, META_FILENAME)
+    meta = {}
+    if os.path.exists(meta_path):
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    written = export_figures(
+        dataset,
+        args.out,
+        active_per_iteration=meta.get("active_per_iteration"),
+        cumulative_per_iteration=meta.get("cumulative_per_iteration"),
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _add_study_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="world scale; 1.0 = the paper's 38K listings")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--iterations", type=int, default=6,
+                        help="collection iterations (Figure 2)")
+    parser.add_argument("--no-underground", action="store_true",
+                        help="skip the Tor-forum manual collection")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IMC 2025 account-marketplace study",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run a study and save the dataset")
+    _add_study_args(run_parser)
+    run_parser.add_argument("--out", required=True, help="output directory")
+    run_parser.set_defaults(handler=cmd_run)
+
+    report_parser = commands.add_parser("report", help="render tables from a saved run")
+    report_parser.add_argument("run_dir")
+    report_parser.add_argument("--scale", type=float, default=None,
+                               help="override the scale used for paper comparison")
+    report_parser.set_defaults(handler=cmd_report)
+
+    tables_parser = commands.add_parser("tables", help="run a study and print tables")
+    _add_study_args(tables_parser)
+    tables_parser.set_defaults(handler=cmd_tables)
+
+    channels_parser = commands.add_parser("channels", help="print the Table-9 inventory")
+    channels_parser.set_defaults(handler=cmd_channels)
+
+    figures_parser = commands.add_parser(
+        "figures", help="export figure series from a saved run as CSV"
+    )
+    figures_parser.add_argument("run_dir")
+    figures_parser.add_argument("--out", required=True, help="output directory for CSVs")
+    figures_parser.set_defaults(handler=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Pipeline orchestration: datasets, the three-module study, reports.
+
+* :mod:`repro.core.dataset` — the records the measurement pipeline
+  produces (as opposed to the world's ground truth) and a persistable
+  container;
+* :mod:`repro.core.pipeline` — the Figure-1 three-module study: collect
+  marketplaces, collect data, track & analyze;
+* :mod:`repro.core.reports` — text rendering of every paper table and
+  figure, side by side with the paper's published values.
+"""
+
+from repro.core.dataset import (
+    ListingRecord,
+    MeasurementDataset,
+    PostRecord,
+    ProfileRecord,
+    SellerRecord,
+    UndergroundRecord,
+)
+from repro.core.pipeline import Study, StudyConfig, StudyResult
+
+__all__ = [
+    "ListingRecord",
+    "MeasurementDataset",
+    "PostRecord",
+    "ProfileRecord",
+    "SellerRecord",
+    "Study",
+    "StudyConfig",
+    "StudyResult",
+    "UndergroundRecord",
+]

@@ -1,0 +1,218 @@
+"""Records produced by the measurement pipeline, and their container.
+
+These are deliberately distinct from :mod:`repro.synthetic.model`: the
+pipeline only knows what it extracted from HTML and API payloads.  All
+records are JSON-serializable dataclasses; :class:`MeasurementDataset`
+persists to/loads from a JSON-lines directory so long crawls can be
+checkpointed and analyses re-run offline — the workflow the paper's
+"share the data on request" model implies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class SellerRecord:
+    """A marketplace seller as extracted from their public page."""
+
+    seller_url: str
+    marketplace: str
+    name: Optional[str] = None
+    country: Optional[str] = None
+    rating: Optional[float] = None
+    joined: Optional[str] = None  # ISO date
+
+
+@dataclass
+class ListingRecord:
+    """One account-for-sale offer as extracted from its offer page."""
+
+    offer_url: str
+    marketplace: str
+    title: str = ""
+    platform: Optional[str] = None
+    price_usd: Optional[float] = None
+    category: Optional[str] = None
+    followers_claimed: Optional[int] = None
+    monthly_revenue_usd: Optional[float] = None
+    income_source: Optional[str] = None
+    description: Optional[str] = None
+    seller_url: Optional[str] = None
+    seller_name: Optional[str] = None
+    profile_url: Optional[str] = None
+    verified_claim: bool = False
+    #: Collection-iteration bookkeeping (Figure 2).
+    first_seen_iteration: int = 0
+    last_seen_iteration: int = 0
+
+    @property
+    def has_visible_profile(self) -> bool:
+        return self.profile_url is not None
+
+
+@dataclass
+class ProfileRecord:
+    """A social media profile as returned by the platform API."""
+
+    profile_url: str
+    platform: str
+    handle: str
+    status: str = "active"  # ApiStatus value
+    account_id: Optional[str] = None
+    name: Optional[str] = None
+    description: Optional[str] = None
+    created: Optional[str] = None  # ISO date
+    followers: Optional[int] = None
+    account_type: Optional[str] = None
+    location: Optional[str] = None
+    category: Optional[str] = None
+    email: Optional[str] = None
+    phone: Optional[str] = None
+    website: Optional[str] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.status == "active"
+
+
+@dataclass
+class PostRecord:
+    """One collected profile post."""
+
+    post_id: str
+    platform: str
+    handle: str
+    text: str
+    date: Optional[str] = None  # ISO date
+    likes: int = 0
+    views: int = 0
+
+
+@dataclass
+class UndergroundRecord:
+    """One underground-forum posting as recorded manually."""
+
+    url: str
+    market: str
+    title: str
+    body: str
+    author: str
+    platform: Optional[str] = None
+    date: Optional[str] = None
+    price_usd: Optional[float] = None
+    quantity: int = 1
+    replies: int = 0
+
+
+_RECORD_TYPES = {
+    "sellers": SellerRecord,
+    "listings": ListingRecord,
+    "profiles": ProfileRecord,
+    "posts": PostRecord,
+    "underground": UndergroundRecord,
+}
+
+
+@dataclass
+class MeasurementDataset:
+    """Everything one study run collected."""
+
+    sellers: List[SellerRecord] = field(default_factory=list)
+    listings: List[ListingRecord] = field(default_factory=list)
+    profiles: List[ProfileRecord] = field(default_factory=list)
+    posts: List[PostRecord] = field(default_factory=list)
+    underground: List[UndergroundRecord] = field(default_factory=list)
+
+    # -- views ---------------------------------------------------------------
+
+    def listings_by_marketplace(self) -> Dict[str, List[ListingRecord]]:
+        grouped: Dict[str, List[ListingRecord]] = {}
+        for record in self.listings:
+            grouped.setdefault(record.marketplace, []).append(record)
+        return grouped
+
+    def profiles_by_platform(self) -> Dict[str, List[ProfileRecord]]:
+        grouped: Dict[str, List[ProfileRecord]] = {}
+        for record in self.profiles:
+            grouped.setdefault(record.platform, []).append(record)
+        return grouped
+
+    def posts_by_platform(self) -> Dict[str, List[PostRecord]]:
+        grouped: Dict[str, List[PostRecord]] = {}
+        for record in self.posts:
+            grouped.setdefault(record.platform, []).append(record)
+        return grouped
+
+    def visible_listings(self) -> List[ListingRecord]:
+        return [l for l in self.listings if l.has_visible_profile]
+
+    def profile_for_url(self, profile_url: str) -> Optional[ProfileRecord]:
+        for profile in self.profiles:
+            if profile.profile_url == profile_url:
+                return profile
+        return None
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Write the dataset as one JSON-lines file per record type."""
+        os.makedirs(directory, exist_ok=True)
+        for name in _RECORD_TYPES:
+            records = getattr(self, name)
+            path = os.path.join(directory, f"{name}.jsonl")
+            with open(path, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
+
+    @classmethod
+    def load(cls, directory: str) -> "MeasurementDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        dataset = cls()
+        for name, record_type in _RECORD_TYPES.items():
+            path = os.path.join(directory, f"{name}.jsonl")
+            if not os.path.exists(path):
+                continue
+            records = getattr(dataset, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        records.append(record_type(**json.loads(line)))
+        return dataset
+
+    def merge(self, other: "MeasurementDataset") -> None:
+        """Append all records from ``other`` (no deduplication)."""
+        for name in _RECORD_TYPES:
+            getattr(self, name).extend(getattr(other, name))
+
+    def summary(self) -> Dict[str, int]:
+        return {name: len(getattr(self, name)) for name in _RECORD_TYPES}
+
+
+def dedup_by(records: Iterable, key) -> List:
+    """Order-preserving deduplication by a key function."""
+    seen = set()
+    output = []
+    for record in records:
+        k = key(record)
+        if k not in seen:
+            seen.add(k)
+            output.append(record)
+    return output
+
+
+__all__ = [
+    "ListingRecord",
+    "MeasurementDataset",
+    "PostRecord",
+    "ProfileRecord",
+    "SellerRecord",
+    "UndergroundRecord",
+    "dedup_by",
+]

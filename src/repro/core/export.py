@@ -1,0 +1,97 @@
+"""CSV export of the paper's figure series, ready for plotting.
+
+``export_figures`` writes one CSV per figure into a directory:
+
+* ``fig2_listing_dynamics.csv`` — iteration, active, cumulative;
+* ``fig4_creation_cdf.csv`` — platform, year_fraction, cdf;
+* ``table4_followers.csv`` — platform, min, median, max;
+* ``table8_efficacy.csv`` — platform, visible, inactive, efficacy_percent.
+
+Any spreadsheet or gnuplot/matplotlib script can regenerate the paper's
+plots from these.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.account_setup import AccountSetupAnalysis
+from repro.analysis.efficacy import EfficacyAnalysis
+from repro.analysis.figures import creation_cdf, listing_dynamics
+from repro.core.dataset import MeasurementDataset
+
+
+def _write_csv(path: str, header: List[str], rows: List[List]) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_figures(
+    dataset: MeasurementDataset,
+    directory: str,
+    active_per_iteration: Optional[List[int]] = None,
+    cumulative_per_iteration: Optional[List[int]] = None,
+) -> List[str]:
+    """Write all exportable series; returns the file paths written."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    if active_per_iteration and cumulative_per_iteration:
+        dynamics = listing_dynamics(active_per_iteration, cumulative_per_iteration)
+        path = os.path.join(directory, "fig2_listing_dynamics.csv")
+        _write_csv(
+            path,
+            ["iteration", "active_listings", "cumulative_listings"],
+            [
+                [i, dynamics.active[i], dynamics.cumulative[i]]
+                for i in dynamics.iterations
+            ],
+        )
+        written.append(path)
+
+    series = creation_cdf(dataset)
+    if series:
+        path = os.path.join(directory, "fig4_creation_cdf.csv")
+        rows = [
+            [platform, f"{value:.3f}", f"{fraction:.6f}"]
+            for platform, points in sorted(series.items())
+            for value, fraction in points
+        ]
+        _write_csv(path, ["platform", "year_fraction", "cdf"], rows)
+        written.append(path)
+
+    setup = AccountSetupAnalysis().run(dataset)
+    if setup.followers_by_platform:
+        path = os.path.join(directory, "table4_followers.csv")
+        _write_csv(
+            path,
+            ["platform", "min", "median", "max"],
+            [
+                [platform, int(s.minimum), s.median, int(s.maximum)]
+                for platform, s in sorted(setup.followers_by_platform.items())
+            ],
+        )
+        written.append(path)
+
+    efficacy = EfficacyAnalysis().run(dataset)
+    if efficacy.per_platform:
+        path = os.path.join(directory, "table8_efficacy.csv")
+        _write_csv(
+            path,
+            ["platform", "visible", "inactive", "efficacy_percent"],
+            [
+                [p, e.visible_accounts, e.inactive_accounts,
+                 f"{e.efficacy_percent:.2f}"]
+                for p, e in sorted(efficacy.per_platform.items())
+            ],
+        )
+        written.append(path)
+
+    return written
+
+
+__all__ = ["export_figures"]

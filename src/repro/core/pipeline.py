@@ -1,0 +1,161 @@
+"""The three-module study pipeline (Figure 1).
+
+Module 1 — *collect marketplaces*: triage the Table-9 channel inventory
+down to the monitorable markets and stand their sites up.
+
+Module 2 — *data collection*: run the iteration crawl over all public
+marketplaces, query platform APIs for every visible profile, and run the
+manual-protocol collector over the underground forums.
+
+Module 3 — *tracking and analysis* lives in :mod:`repro.analysis`; this
+module hands it a complete :class:`~repro.core.dataset.MeasurementDataset`
+plus the crawl artifacts (Figure-2 series, payment-method matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import MeasurementDataset
+from repro.crawler.crawler import CrawlReport, IterationCrawl, MarketplaceCrawler
+from repro.crawler.profile_collector import ProfileCollector
+from repro.crawler.underground_collector import UndergroundCollector
+from repro.marketplaces.channels import monitored_channels, triage, websites
+from repro.marketplaces.deploy import (
+    deploy_public_marketplaces,
+    deploy_underground,
+    set_iteration,
+)
+from repro.marketplaces.registry import MARKETPLACES
+from repro.platforms.deploy import deploy_platforms, enable_moderation
+from repro.synthetic.model import World
+from repro.synthetic.world import WorldBuilder, WorldConfig
+from repro.util.rng import RngTree
+from repro.web.captcha import HumanSolver
+from repro.web.client import ClientConfig, HttpClient
+from repro.web.server import Internet
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Configuration of one full study run."""
+
+    seed: int = 2024
+    scale: float = 0.05
+    iterations: int = 4
+    include_underground: bool = True
+    #: Politeness spacing between same-host requests (simulated seconds).
+    per_host_delay_seconds: float = 0.0
+
+    def world_config(self) -> WorldConfig:
+        return WorldConfig(
+            seed=self.seed,
+            scale=self.scale,
+            iterations=self.iterations,
+            include_underground=self.include_underground,
+        )
+
+
+@dataclass
+class StudyResult:
+    """Everything a study run produced."""
+
+    dataset: MeasurementDataset
+    world: World  # ground truth, for validation only — analyses not using it
+    #: Figure-2 series.
+    active_per_iteration: List[int] = field(default_factory=list)
+    cumulative_per_iteration: List[int] = field(default_factory=list)
+    #: Table-3 raw material: marketplace -> [(group, method)].
+    payment_methods: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    crawl_reports: List[CrawlReport] = field(default_factory=list)
+    simulated_seconds: float = 0.0
+
+
+class Study:
+    """Builds the world, deploys all sites, and runs modules 1 and 2."""
+
+    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+        self.config = config or StudyConfig()
+        self._rng = RngTree(self.config.seed, name="study")
+
+    # -- module 1: collect marketplaces ------------------------------------
+
+    def marketplaces_to_monitor(self) -> List[str]:
+        """Triage the channel inventory (Section 3.1 / Table 9)."""
+        selected = triage(websites())
+        return [c.name for c in selected]
+
+    # -- modules 1+2: run -----------------------------------------------------
+
+    def run(self) -> StudyResult:
+        world = WorldBuilder(self.config.world_config()).build()
+        internet = Internet()
+        # Collection runs against the pre-ban state of the platforms;
+        # the Section-8 status sweep at the end sees enforcement.
+        platform_sites = deploy_platforms(internet, world, enforce_moderation=False)
+        market_sites = deploy_public_marketplaces(internet, world)
+        underground_sites = (
+            deploy_underground(internet, world, self._rng.child("underground"))
+            if self.config.include_underground
+            else {}
+        )
+
+        client = HttpClient(
+            internet,
+            ClientConfig(per_host_delay_seconds=self.config.per_host_delay_seconds),
+        )
+        crawl = IterationCrawl(
+            client=client,
+            seed_urls={
+                name: f"http://{spec.host}/listings"
+                for name, spec in MARKETPLACES.items()
+            },
+            set_iteration=lambda i: set_iteration(market_sites, i),
+            iterations=self.config.iterations,
+        )
+        dataset = crawl.run()
+
+        # Payment pages, once per marketplace (Table 3).
+        payments: Dict[str, List[Tuple[str, str]]] = {}
+        for name, spec in MARKETPLACES.items():
+            crawler = MarketplaceCrawler(client, name, f"http://{spec.host}/listings")
+            payments[name] = crawler.collect_payment_methods()
+
+        # Profile metadata + timelines for visible accounts, collected
+        # while the accounts are still live.
+        collector = ProfileCollector(client)
+        profiles, posts = collector.collect(dataset.listings)
+        dataset.profiles = profiles
+        dataset.posts = posts
+
+        # End-of-study status sweep (Section 8): bans are now visible.
+        enable_moderation(platform_sites)
+        collector.sweep_status(dataset.profiles)
+
+        # Underground manual-protocol collection.
+        if underground_sites:
+            tor_client = HttpClient(
+                internet,
+                ClientConfig(via_tor=True, per_host_delay_seconds=0.0),
+                client_id="manual-analyst",
+            )
+            manual = UndergroundCollector(
+                client=tor_client,
+                solver=HumanSolver(self._rng.child("solver")),
+            )
+            for market, site in underground_sites.items():
+                dataset.underground.extend(manual.collect_market(market, site.host))
+
+        return StudyResult(
+            dataset=dataset,
+            world=world,
+            active_per_iteration=crawl.active_per_iteration,
+            cumulative_per_iteration=crawl.cumulative_per_iteration,
+            payment_methods=payments,
+            crawl_reports=crawl.reports,
+            simulated_seconds=internet.clock.now(),
+        )
+
+
+__all__ = ["Study", "StudyConfig", "StudyResult"]

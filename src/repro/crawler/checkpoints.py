@@ -1,0 +1,84 @@
+"""Crawl checkpointing: persist and resume an iteration crawl.
+
+The paper's crawl spanned five months; a real deployment has to survive
+restarts without re-counting listings it has already seen.  The
+checkpoint captures the :class:`~repro.crawler.crawler.IterationCrawl`
+tracker — every listing record with its first/last-seen bookkeeping,
+plus the per-iteration series — as a JSON file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.dataset import ListingRecord, SellerRecord
+
+
+@dataclass
+class CrawlCheckpoint:
+    """Serializable snapshot of an iteration crawl in progress."""
+
+    completed_iterations: int = 0
+    active_per_iteration: List[int] = field(default_factory=list)
+    cumulative_per_iteration: List[int] = field(default_factory=list)
+    #: normalized offer URL -> listing record (with seen bookkeeping).
+    tracker: Dict[str, ListingRecord] = field(default_factory=dict)
+    #: normalized seller URL -> seller record; without this, sellers whose
+    #: listings delist before a resume would be lost.
+    sellers: Dict[str, SellerRecord] = field(default_factory=dict)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        payload = {
+            "completed_iterations": self.completed_iterations,
+            "active_per_iteration": self.active_per_iteration,
+            "cumulative_per_iteration": self.cumulative_per_iteration,
+            "tracker": {
+                key: dataclasses.asdict(record)
+                for key, record in self.tracker.items()
+            },
+            "sellers": {
+                key: dataclasses.asdict(record)
+                for key, record in self.sellers.items()
+            },
+        }
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # Write-then-rename so a crash never leaves a torn checkpoint.
+        temp_path = path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_path, path)
+
+    @classmethod
+    def load(cls, path: str) -> "CrawlCheckpoint":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls(
+            completed_iterations=payload["completed_iterations"],
+            active_per_iteration=list(payload["active_per_iteration"]),
+            cumulative_per_iteration=list(payload["cumulative_per_iteration"]),
+            tracker={
+                key: ListingRecord(**record)
+                for key, record in payload["tracker"].items()
+            },
+            sellers={
+                key: SellerRecord(**record)
+                for key, record in payload.get("sellers", {}).items()
+            },
+        )
+
+    @classmethod
+    def load_or_empty(cls, path: str) -> "CrawlCheckpoint":
+        if os.path.exists(path):
+            return cls.load(path)
+        return cls()
+
+
+__all__ = ["CrawlCheckpoint"]

@@ -1,0 +1,204 @@
+"""The marketplace crawler and its multi-iteration scheduler.
+
+:class:`MarketplaceCrawler` implements Section 3.2's strategy: starting
+from a seed listing URL, depth-first — visit a listing page, open every
+offer on it, collect details, then follow pagination; stop when no new
+offers or pages appear.  Seller pages are visited once each; payment
+pages once per marketplace.
+
+:class:`IterationCrawl` repeats the crawl at every collection iteration
+(Feb–Jun 2024 in the paper) and maintains per-offer first/last-seen
+bookkeeping, which is exactly the data behind Figure 2's cumulative vs
+active listing curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import ListingRecord, MeasurementDataset, SellerRecord
+from repro.crawler.extractor import (
+    ExtractionError,
+    extract_listing_index,
+    extract_offer,
+    extract_payment_methods,
+    extract_seller,
+)
+from repro.crawler.frontier import Frontier
+from repro.web.client import HttpClient
+from repro.web.http import HttpError
+from repro.web.url import join_url, normalize_url, url_host
+
+
+@dataclass
+class CrawlReport:
+    """Counters from one marketplace crawl."""
+
+    marketplace: str
+    pages_fetched: int = 0
+    offers_found: int = 0
+    offers_parsed: int = 0
+    sellers_fetched: int = 0
+    errors: int = 0
+
+
+class MarketplaceCrawler:
+    """Depth-first crawler for one public marketplace."""
+
+    def __init__(self, client: HttpClient, marketplace: str, seed_url: str) -> None:
+        self._client = client
+        self.marketplace = marketplace
+        self.seed_url = seed_url
+        self._seller_cache: Dict[str, SellerRecord] = {}
+
+    def crawl(self) -> Tuple[List[ListingRecord], List[SellerRecord], CrawlReport]:
+        """Crawl all listing pages and offers; returns records + report."""
+        report = CrawlReport(marketplace=self.marketplace)
+        listings: List[ListingRecord] = []
+        page_url: Optional[str] = self.seed_url
+        seen_offers = Frontier()
+        while page_url is not None:
+            try:
+                response = self._client.get(page_url)
+            except HttpError:
+                report.errors += 1
+                break
+            report.pages_fetched += 1
+            if not response.ok:
+                break
+            index = extract_listing_index(page_url, response.body)
+            fresh = [u for u in index.offer_urls if seen_offers.add(u)]
+            report.offers_found += len(fresh)
+            for offer_url in fresh:
+                record = self._collect_offer(offer_url, report)
+                if record is not None:
+                    listings.append(record)
+            page_url = index.next_page_url
+        sellers = list(self._seller_cache.values())
+        report.sellers_fetched = len(sellers)
+        return listings, sellers, report
+
+    def _collect_offer(self, offer_url: str, report: CrawlReport) -> Optional[ListingRecord]:
+        try:
+            response = self._client.get(offer_url)
+        except HttpError:
+            report.errors += 1
+            return None
+        report.pages_fetched += 1
+        if not response.ok:
+            report.errors += 1
+            return None
+        try:
+            record = extract_offer(offer_url, response.body, self.marketplace)
+        except ExtractionError:
+            report.errors += 1
+            return None
+        report.offers_parsed += 1
+        if record.seller_url:
+            self._visit_seller(record.seller_url, report)
+        return record
+
+    def _visit_seller(self, seller_url: str, report: CrawlReport) -> None:
+        key = normalize_url(seller_url)
+        if key in self._seller_cache:
+            return
+        try:
+            response = self._client.get(seller_url)
+        except HttpError:
+            report.errors += 1
+            return
+        report.pages_fetched += 1
+        if not response.ok:
+            return
+        try:
+            record = extract_seller(seller_url, response.body, self.marketplace)
+        except ExtractionError:
+            report.errors += 1
+            return
+        self._seller_cache[key] = record
+
+    def collect_payment_methods(self) -> List[Tuple[str, str]]:
+        """Fetch the marketplace's payments page (Table 3 source)."""
+        payments_url = join_url(self.seed_url, "/payments")
+        try:
+            response = self._client.get(payments_url)
+        except HttpError:
+            return []
+        if not response.ok:
+            return []
+        return extract_payment_methods(response.body)
+
+
+@dataclass
+class IterationCrawl:
+    """Repeated crawls across collection iterations (Figure 2).
+
+    ``run`` crawls every marketplace at every iteration, advancing the
+    marketplace sites' ``current_iteration`` through the supplied setter,
+    and merges the per-iteration observations into one dataset with
+    first/last-seen bookkeeping per offer URL.
+    """
+
+    client: HttpClient
+    seed_urls: Dict[str, str]  # marketplace -> seed listing URL
+    set_iteration: object  # Callable[[int], None]
+    iterations: int = 1
+    #: Optional path for persistent crawl state; with it set, a crashed
+    #: or restarted crawl resumes from the last completed iteration.
+    checkpoint_path: Optional[str] = None
+    #: offer URL -> (record, first_seen, last_seen)
+    _tracker: Dict[str, ListingRecord] = field(default_factory=dict)
+    reports: List[CrawlReport] = field(default_factory=list)
+    #: per-iteration active-listing counts, for Figure 2.
+    active_per_iteration: List[int] = field(default_factory=list)
+    cumulative_per_iteration: List[int] = field(default_factory=list)
+
+    def run(self) -> MeasurementDataset:
+        from repro.crawler.checkpoints import CrawlCheckpoint
+
+        dataset = MeasurementDataset()
+        sellers_seen: Dict[str, SellerRecord] = {}
+        start_iteration = 0
+        if self.checkpoint_path:
+            checkpoint = CrawlCheckpoint.load_or_empty(self.checkpoint_path)
+            start_iteration = checkpoint.completed_iterations
+            self._tracker = checkpoint.tracker
+            self.active_per_iteration = checkpoint.active_per_iteration
+            self.cumulative_per_iteration = checkpoint.cumulative_per_iteration
+            sellers_seen.update(checkpoint.sellers)
+        for iteration in range(start_iteration, self.iterations):
+            self.set_iteration(iteration)  # type: ignore[operator]
+            active_count = 0
+            for marketplace, seed in self.seed_urls.items():
+                crawler = MarketplaceCrawler(self.client, marketplace, seed)
+                listings, sellers, report = crawler.crawl()
+                self.reports.append(report)
+                active_count += len(listings)
+                for record in listings:
+                    key = normalize_url(record.offer_url)
+                    known = self._tracker.get(key)
+                    if known is None:
+                        record.first_seen_iteration = iteration
+                        record.last_seen_iteration = iteration
+                        self._tracker[key] = record
+                    else:
+                        known.last_seen_iteration = iteration
+                for seller in sellers:
+                    sellers_seen.setdefault(normalize_url(seller.seller_url), seller)
+            self.active_per_iteration.append(active_count)
+            self.cumulative_per_iteration.append(len(self._tracker))
+            if self.checkpoint_path:
+                CrawlCheckpoint(
+                    completed_iterations=iteration + 1,
+                    active_per_iteration=self.active_per_iteration,
+                    cumulative_per_iteration=self.cumulative_per_iteration,
+                    tracker=self._tracker,
+                    sellers=sellers_seen,
+                ).save(self.checkpoint_path)
+        dataset.listings = list(self._tracker.values())
+        dataset.sellers = list(sellers_seen.values())
+        return dataset
+
+
+__all__ = ["CrawlReport", "IterationCrawl", "MarketplaceCrawler"]

@@ -1,0 +1,271 @@
+"""HTML extraction: offer pages, listing indexes, sellers, payments, forums.
+
+The three marketplace themes expose the same information differently;
+the extractor probes for each shape in turn (cards -> table -> dl), the
+way the real crawler carried per-site selectors.  All parsing failures
+raise :class:`ExtractionError` with the URL, never silently drop fields.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import ListingRecord, SellerRecord, UndergroundRecord
+from repro.web.html import Element
+from repro.web.html_parser import parse_html
+from repro.web.url import join_url, url_host
+from repro.util.textutil import parse_compact_number
+
+_MONEY_RE = re.compile(r"\$\s*([\d,]+(?:\.\d+)?)")
+
+
+class ExtractionError(Exception):
+    """A page did not contain the structure we expected."""
+
+
+def _parse_money(text: str) -> Optional[float]:
+    match = _MONEY_RE.search(text)
+    if not match:
+        return None
+    return float(match.group(1).replace(",", ""))
+
+
+def _parse_count(text: str) -> Optional[int]:
+    try:
+        return parse_compact_number(text)
+    except ValueError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Listing index pages
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ListingIndex:
+    """Parsed listing-index page: offer links plus optional next page."""
+
+    offer_urls: List[str]
+    next_page_url: Optional[str]
+
+
+def extract_listing_index(page_url: str, markup: str) -> ListingIndex:
+    """Pull offer links and the next-page link from a listing index."""
+    tree = parse_html(markup)
+    offers = [
+        join_url(page_url, a.get("href"))
+        for a in tree.find_all("a", class_="offer-link")
+        if a.get("href")
+    ]
+    next_el = tree.find("a", class_="next-page")
+    next_url = join_url(page_url, next_el.get("href")) if next_el else None
+    return ListingIndex(offer_urls=offers, next_page_url=next_url)
+
+
+# ---------------------------------------------------------------------------
+# Offer pages (three themes)
+# ---------------------------------------------------------------------------
+
+def _fields_from_cards(tree: Element) -> Optional[Dict[str, str]]:
+    card = tree.find(class_="offer-card")
+    if card is None:
+        return None
+    fields: Dict[str, str] = {}
+    price = card.find(class_="offer-price")
+    if price is not None:
+        fields["price"] = price.text
+    for li in card.find_all("li"):
+        prop = li.get("data-prop")
+        if prop:
+            fields[prop] = li.text
+    return fields
+
+
+_TABLE_LABELS = {
+    "platform": "platform",
+    "price": "price",
+    "category": "category",
+    "followers": "followers",
+    "monthly revenue": "monthly-revenue",
+}
+
+
+def _fields_from_table(tree: Element) -> Optional[Dict[str, str]]:
+    table = tree.find("table", class_="offer-details")
+    if table is None:
+        return None
+    fields: Dict[str, str] = {}
+    for row in table.find_all("tr"):
+        header = row.find("th")
+        cell = row.find("td")
+        if header is None or cell is None:
+            continue
+        key = _TABLE_LABELS.get(header.text.strip().lower())
+        if key:
+            fields[key] = cell.text
+    return fields
+
+
+def _fields_from_dl(tree: Element) -> Optional[Dict[str, str]]:
+    dl = tree.find("dl", class_="offer-info")
+    if dl is None:
+        return None
+    fields: Dict[str, str] = {}
+    current_key: Optional[str] = None
+    for child in dl.children:
+        if not isinstance(child, Element):
+            continue
+        if child.tag == "dt":
+            current_key = child.text.strip().lower()
+        elif child.tag == "dd" and current_key:
+            fields[current_key] = child.text
+            current_key = None
+    return fields
+
+
+def extract_offer(offer_url: str, markup: str, marketplace: str) -> ListingRecord:
+    """Parse an offer page in any of the three themes."""
+    tree = parse_html(markup)
+    fields = (
+        _fields_from_cards(tree)
+        or _fields_from_table(tree)
+        or _fields_from_dl(tree)
+    )
+    if fields is None:
+        raise ExtractionError(f"no offer structure found at {offer_url}")
+    title_el = tree.find(class_="offer-title")
+    record = ListingRecord(
+        offer_url=offer_url,
+        marketplace=marketplace,
+        title=title_el.text if title_el else "",
+        platform=fields.get("platform"),
+        price_usd=_parse_money(fields.get("price", "")),
+        category=fields.get("category"),
+    )
+    if "followers" in fields:
+        record.followers_claimed = _parse_count(fields["followers"])
+    if "monthly-revenue" in fields:
+        record.monthly_revenue_usd = _parse_money(fields["monthly-revenue"])
+    description = tree.find(class_="offer-description")
+    if description is not None:
+        record.description = description.text
+    income = tree.find(class_="income-source")
+    if income is not None:
+        record.income_source = income.text
+    profile_link = tree.find("a", class_="profile-link")
+    if profile_link is not None and profile_link.get("href"):
+        record.profile_url = join_url(offer_url, profile_link.get("href"))
+    seller_link = tree.find("a", class_="seller-link")
+    if seller_link is not None:
+        record.seller_name = seller_link.text or None
+        if seller_link.get("href"):
+            record.seller_url = join_url(offer_url, seller_link.get("href"))
+    record.verified_claim = tree.find(class_="verified-badge") is not None
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Seller and payments pages
+# ---------------------------------------------------------------------------
+
+def extract_seller(seller_url: str, markup: str, marketplace: str) -> SellerRecord:
+    tree = parse_html(markup)
+    name = tree.find(class_="seller-name")
+    if name is None:
+        raise ExtractionError(f"no seller structure at {seller_url}")
+    country = tree.find(class_="seller-country")
+    rating = tree.find(class_="seller-rating")
+    joined = tree.find(class_="seller-joined")
+    return SellerRecord(
+        seller_url=seller_url,
+        marketplace=marketplace,
+        name=name.text,
+        country=country.text if country else None,
+        rating=float(rating.text) if rating else None,
+        joined=joined.text if joined else None,
+    )
+
+
+def extract_payment_methods(markup: str) -> List[Tuple[str, str]]:
+    """(group, method) pairs from a payments page; [] when undisclosed."""
+    tree = parse_html(markup)
+    methods = []
+    for li in tree.find_all("li", class_="payment-method"):
+        group = li.get("data-group", "Unknown")
+        methods.append((group, li.text.strip()))
+    return methods
+
+
+# ---------------------------------------------------------------------------
+# Underground forum pages
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ThreadList:
+    """Parsed forum thread-list page."""
+
+    thread_urls: List[str]
+    next_page_url: Optional[str]
+
+
+def extract_thread_list(page_url: str, markup: str) -> ThreadList:
+    tree = parse_html(markup)
+    threads = [
+        join_url(page_url, a.get("href"))
+        for a in tree.find_all("a", class_="thread-link")
+        if a.get("href")
+    ]
+    next_el = tree.find("a", class_="next-page")
+    next_url = join_url(page_url, next_el.get("href")) if next_el else None
+    return ThreadList(thread_urls=threads, next_page_url=next_url)
+
+
+def extract_section_links(page_url: str, markup: str) -> List[str]:
+    tree = parse_html(markup)
+    return [
+        join_url(page_url, a.get("href"))
+        for a in tree.find_all("a", class_="section-link")
+        if a.get("href")
+    ]
+
+
+def extract_underground_posting(url: str, markup: str, market: str,
+                                platform: Optional[str]) -> UndergroundRecord:
+    tree = parse_html(markup)
+    title = tree.find(class_="post-title")
+    body = tree.find(class_="post-body")
+    author = tree.find(class_="post-author")
+    if title is None or body is None or author is None:
+        raise ExtractionError(f"no posting structure at {url}")
+    date_el = tree.find(class_="post-date")
+    price_el = tree.find(class_="post-price")
+    quantity_el = tree.find(class_="post-quantity")
+    replies_el = tree.find(class_="post-replies")
+    return UndergroundRecord(
+        url=url,
+        market=market,
+        title=title.text,
+        body=body.text,
+        author=author.text,
+        platform=platform,
+        date=date_el.text if date_el else None,
+        price_usd=_parse_money(price_el.text) if price_el else None,
+        quantity=int(quantity_el.text) if quantity_el else 1,
+        replies=int(replies_el.text) if replies_el else 0,
+    )
+
+
+__all__ = [
+    "ExtractionError",
+    "ListingIndex",
+    "ThreadList",
+    "extract_listing_index",
+    "extract_offer",
+    "extract_payment_methods",
+    "extract_section_links",
+    "extract_seller",
+    "extract_thread_list",
+    "extract_underground_posting",
+]

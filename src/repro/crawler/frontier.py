@@ -1,0 +1,54 @@
+"""URL frontier: LIFO for depth-first crawls, with normalized dedup."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.web.url import normalize_url
+
+
+class Frontier:
+    """A stack-shaped frontier that never re-admits a seen URL.
+
+    Depth-first order mirrors the paper's crawler: "visits a listing
+    page, clicks on each offer ... then moves to the next listing page".
+    """
+
+    def __init__(self, seeds: Optional[Iterable[str]] = None) -> None:
+        self._stack: List[str] = []
+        self._seen: Set[str] = set()
+        for seed in seeds or []:
+            self.add(seed)
+
+    def add(self, url: str) -> bool:
+        """Queue a URL; returns False if it was already seen."""
+        key = normalize_url(url)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._stack.append(url)
+        return True
+
+    def add_all(self, urls: Iterable[str]) -> int:
+        return sum(1 for url in urls if self.add(url))
+
+    def pop(self) -> str:
+        if not self._stack:
+            raise IndexError("frontier is empty")
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __bool__(self) -> bool:
+        return bool(self._stack)
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)
+
+    def has_seen(self, url: str) -> bool:
+        return normalize_url(url) in self._seen
+
+
+__all__ = ["Frontier"]

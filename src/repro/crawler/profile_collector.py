@@ -1,0 +1,185 @@
+"""Profile metadata and timeline collection (Section 3.2).
+
+For every listing that displays a profile link, query the platform's
+metadata API and timeline API (paginated), normalizing across platforms.
+Inactive accounts (Forbidden / Not Found) still yield a
+:class:`~repro.core.dataset.ProfileRecord` carrying the status — that is
+the raw material of the Section 8 efficacy analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.dataset import ListingRecord, PostRecord, ProfileRecord
+from repro.platforms.api import (
+    ApiStatus,
+    parse_profile_payload,
+    parse_timeline_payload,
+)
+from repro.platforms.base import PLATFORM_HOSTS
+from repro.synthetic.model import Platform
+from repro.web.client import HttpClient
+from repro.web.http import HttpError
+from repro.web.url import url_host, url_path
+
+_HOST_TO_PLATFORM: Dict[str, Platform] = {
+    host: platform for platform, host in PLATFORM_HOSTS.items()
+}
+
+
+@dataclass
+class CollectionReport:
+    profiles_queried: int = 0
+    profiles_active: int = 0
+    profiles_inactive: int = 0
+    posts_collected: int = 0
+    errors: int = 0
+
+
+def platform_of_url(profile_url: str) -> Optional[Platform]:
+    """Which platform a profile URL belongs to, from its hostname."""
+    return _HOST_TO_PLATFORM.get(url_host(profile_url))
+
+
+def handle_of_url(profile_url: str) -> str:
+    """The account handle encoded in a profile URL path."""
+    return url_path(profile_url).strip("/")
+
+
+class ProfileCollector:
+    """Queries platform APIs for all visible accounts in a listing set."""
+
+    def __init__(self, client: HttpClient, timeline_page_size: int = 200) -> None:
+        self._client = client
+        self.timeline_page_size = timeline_page_size
+        self.report = CollectionReport()
+
+    def collect(
+        self, listings: Iterable[ListingRecord]
+    ) -> Tuple[List[ProfileRecord], List[PostRecord]]:
+        """Collect profiles + posts for every distinct visible profile URL."""
+        profiles: List[ProfileRecord] = []
+        posts: List[PostRecord] = []
+        seen: set = set()
+        for listing in listings:
+            url = listing.profile_url
+            if not url or url in seen:
+                continue
+            seen.add(url)
+            result = self.collect_profile(url)
+            if result is None:
+                continue
+            profile, timeline = result
+            profiles.append(profile)
+            posts.extend(timeline)
+        return profiles, posts
+
+    def collect_profile(
+        self, profile_url: str
+    ) -> Optional[Tuple[ProfileRecord, List[PostRecord]]]:
+        """Collect one profile and its timeline; None on transport failure."""
+        platform = platform_of_url(profile_url)
+        if platform is None:
+            self.report.errors += 1
+            return None
+        handle = handle_of_url(profile_url)
+        host = PLATFORM_HOSTS[platform]
+        self.report.profiles_queried += 1
+        try:
+            response = self._client.get(f"http://{host}/api/users/{handle}")
+        except HttpError:
+            self.report.errors += 1
+            return None
+        payload = parse_profile_payload(platform, response)
+        record = ProfileRecord(
+            profile_url=profile_url,
+            platform=platform.value,
+            handle=handle,
+            status=payload.status.value,
+        )
+        if payload.status is not ApiStatus.ACTIVE:
+            self.report.profiles_inactive += 1
+            return record, []
+        self.report.profiles_active += 1
+        record.account_id = payload.account_id
+        record.name = payload.name
+        record.description = payload.description
+        record.created = payload.created.isoformat() if payload.created else None
+        record.followers = payload.followers
+        record.account_type = payload.account_type
+        record.location = payload.location
+        record.category = payload.category
+        record.email = payload.email
+        record.phone = payload.phone
+        record.website = payload.website
+        timeline = self._collect_timeline(platform, host, handle)
+        return record, timeline
+
+    def sweep_status(self, profiles: Iterable[ProfileRecord]) -> int:
+        """Re-query each profile's API status (the Section-8 sweep).
+
+        The paper collected metadata and posts while accounts were live,
+        then later "analyzed the active status of 11,457 social media
+        profiles using API responses".  Returns how many profiles turned
+        out inactive.
+        """
+        inactive = 0
+        for record in profiles:
+            platform = platform_of_url(record.profile_url)
+            if platform is None:
+                continue
+            host = PLATFORM_HOSTS[platform]
+            try:
+                response = self._client.get(
+                    f"http://{host}/api/users/{record.handle}"
+                )
+            except HttpError:
+                self.report.errors += 1
+                continue
+            payload = parse_profile_payload(platform, response)
+            record.status = payload.status.value
+            if payload.status.inactive:
+                inactive += 1
+        return inactive
+
+    def _collect_timeline(
+        self, platform: Platform, host: str, handle: str
+    ) -> List[PostRecord]:
+        """Page through the timeline API until exhausted."""
+        posts: List[PostRecord] = []
+        offset = 0
+        while True:
+            try:
+                response = self._client.get(
+                    f"http://{host}/api/users/{handle}/posts",
+                    limit=str(self.timeline_page_size),
+                    offset=str(offset),
+                )
+            except HttpError:
+                self.report.errors += 1
+                break
+            payload = parse_timeline_payload(platform, response)
+            if payload.status is not ApiStatus.ACTIVE:
+                break
+            for post in payload.posts:
+                posts.append(
+                    PostRecord(
+                        post_id=post.post_id,
+                        platform=platform.value,
+                        handle=handle,
+                        text=post.text,
+                        date=post.date.isoformat() if post.date else None,
+                        likes=post.likes,
+                        views=post.views,
+                    )
+                )
+            offset += len(payload.posts)
+            if offset >= payload.total or not payload.posts:
+                break
+        self.report.posts_collected += len(posts)
+        return posts
+
+
+__all__ = ["CollectionReport", "ProfileCollector", "handle_of_url", "platform_of_url"]

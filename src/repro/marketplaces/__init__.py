@@ -1,0 +1,35 @@
+"""Marketplace site simulators.
+
+* :mod:`repro.marketplaces.registry` — the 11 public marketplaces the
+  paper monitored (Table 1), each with its quirks: whether sellers are
+  public, which payment methods it advertises (Table 3), and which of
+  three page *themes* its HTML uses (cards / table / definition list), so
+  the extractor has to do real per-site adaptation;
+* :mod:`repro.marketplaces.public` — the public marketplace site:
+  listing indexes with pagination, offer pages, seller pages, a payments
+  page, and collection-iteration awareness for the Figure-2 dynamics;
+* :mod:`repro.marketplaces.underground` — the Tor forum simulator with
+  registration, CAPTCHA, and link-restricted navigation (Section 4.2);
+* :mod:`repro.marketplaces.channels` — the Table-9 trading-channel
+  inventory and its triage logic.
+"""
+
+from repro.marketplaces.channels import CHANNELS, Channel, monitored_channels, triage
+from repro.marketplaces.deploy import deploy_public_marketplaces, deploy_underground
+from repro.marketplaces.public import PublicMarketplaceSite
+from repro.marketplaces.registry import MARKETPLACES, MarketplaceSpec, market_host
+from repro.marketplaces.underground import UndergroundForumSite
+
+__all__ = [
+    "CHANNELS",
+    "Channel",
+    "MARKETPLACES",
+    "MarketplaceSpec",
+    "PublicMarketplaceSite",
+    "UndergroundForumSite",
+    "deploy_public_marketplaces",
+    "deploy_underground",
+    "market_host",
+    "monitored_channels",
+    "triage",
+]

@@ -1,0 +1,147 @@
+"""The trading-channel inventory and triage (Table 9).
+
+Section 3.1: the manual search phase produced 58 websites and 9 personal
+contact points.  Channels were then triaged on two axes — does the channel
+actually sell accounts, and are social-media handles publicly visible —
+leaving 11 public marketplaces (plus the underground set) to monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.synthetic import calibration as cal
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One row of Table 9."""
+
+    name: str
+    category: str  # Public | Underground | Contact
+    channel_type: str  # Marketplace | Shop | BlackHat Forum | Email | ...
+    source: str  # Google Search | Onion Directory | Public BH Forum | [ref]
+    selling: bool  # sells social-media accounts
+    handles_public: bool  # account handles publicly visible
+    monitored: bool  # included in automated/manual monitoring
+
+
+def _public(name: str, ctype: str, source: str, selling: bool, handles: bool,
+            monitored: bool) -> Channel:
+    return Channel(name, "Public", ctype, source, selling, handles, monitored)
+
+
+def _under(name: str, source: str, selling: bool, monitored: bool) -> Channel:
+    return Channel(name, "Underground", "Marketplace", source, selling, False, monitored)
+
+
+def _contact(name: str, ctype: str) -> Channel:
+    return Channel(name, "Contact", ctype, "Public BH Forum", True, False, False)
+
+
+#: The Table-9 inventory (names as the paper lists them).
+CHANNELS: List[Channel] = [
+    # -- the 11 monitored public marketplaces (rows map to Table 1 names) --
+    _public("accs-market.com", "Marketplace", "Google Search", True, True, True),
+    _public("fameswap.com", "Marketplace", "Google Search", True, True, True),
+    _public("www.z2u.com", "Marketplace", "Google Search", True, True, True),
+    _public("fameseller.com", "Marketplace", "Google Search", True, True, True),
+    _public("insta-sale.com/listings/", "Marketplace", "Google Search", True, True, True),
+    _public("accsmarket.com", "Shop", "Google Search", True, True, True),
+    _public("buysocia.com", "Shop", "Google Search", True, True, True),
+    _public("mid-man.com", "Shop", "Google Search", True, True, True),
+    _public("socialtradia.com", "Shop", "Google Search", True, True, True),
+    _public("swapsocials.com", "Shop", "Google Search", True, True, True),
+    _public("www.surgegram.com", "Shop", "Google Search", True, True, True),
+    _public("www.toofame.com", "Shop", "Google Search", True, True, True),
+    # -- public channels that sell but hide handles or resist crawling --
+    _public("cracked.io", "Marketplace", "[34]", True, False, True),
+    _public("hackforums.net", "BlackHat Forum", "Google Search", True, False, True),
+    _public("swapd.co", "Marketplace", "Google Search", True, False, True),
+    _public("accszone.com", "Shop", "Public BH Forum", True, False, False),
+    _public("agedprofiles.com", "Shop", "Public BH Forum", True, False, False),
+    _public("bulkacc.com", "Shop", "Public BH Forum", True, False, False),
+    _public("digitalchaining.mysellix.io", "Shop", "Public BH Forum", True, False, False),
+    _public("discord.gg/PMJCYxCcCu", "Shop", "Public BH Forum", True, False, False),
+    _public("nwarlordyt.sellpass.io", "Shop", "Public BH Forum", True, False, False),
+    _public("famousinfluencer.com", "Shop", "Public BH Forum", True, False, False),
+    _public("nloaccs.com", "Shop", "Public BH Forum", True, False, False),
+    _public("www.smmzone24.com", "Shop", "Public BH Forum", True, False, False),
+    _public("acccluster.com", "Shop", "Google Search", True, False, False),
+    _public("accsmaster.com", "Shop", "Google Search", True, False, False),
+    _public("buyaccs.com", "Shop", "[57]", True, False, False),
+    _public("getbulkaccounts.com", "Shop", "[57]", True, False, False),
+    _public("bulkye.com", "Shop", "[57]", True, False, False),
+    _public("quickaccounts.bigcartel.com", "Shop", "[57]", True, False, False),
+    # -- public channels that no longer sell accounts --
+    _public("twiends.com", "BlackHat Forum", "[55]", False, False, False),
+    _public("leakzone.net", "BlackHat Forum", "Google Search", False, False, False),
+    _public("magicsmm.com", "Shop", "Public BH Forum", False, False, False),
+    _public("paneliniz.net", "Shop", "Public BH Forum", False, False, False),
+    _public("smmorigins.com", "Shop", "Public BH Forum", False, False, False),
+    _public("smmtake.com", "Shop", "Public BH Forum", False, False, False),
+    _public("bigfollow.net", "Shop", "[55]", False, False, False),
+    _public("intertwitter.com", "Shop", "[55]", False, False, False),
+    _public("seguidores.com.br", "Shop", "Redirect from bigfollow", False, False, False),
+    _public("scrowise.com", "Shop", "Google Search", False, False, False),
+    # -- underground --
+    _under("Dark Matter", "Onion Directory", True, True),
+    _under("Nexus Market", "Onion Directory", True, True),
+    _under("Torzon Market", "Onion Directory", True, True),
+    _under("Black Pyramid", "Onion Directory", True, True),
+    _under("Kerberos", "[33]", True, True),
+    _under("We The North", "[33]", True, True),
+    _under("MGM Grand", "[33]", True, False),
+    _under("ARES market", "Onion Directory", True, False),
+    _under("Soza", "Onion Directory", False, False),
+    _under("SuperMarket", "Onion Directory", False, False),
+    _under("Quantum Market", "Onion Directory", False, False),
+    _under("Quest Market", "Onion Directory", False, False),
+    _under("Incognito", "Onion Directory", False, False),
+    _under("Alias Market", "Onion Directory", False, False),
+    _under("Archetyp", "Onion Directory", False, False),
+    _under("City Market", "Onion Directory", False, False),
+    _under("Elysium", "Onion Directory", False, False),
+    _under("Fish Market", "Onion Directory", False, False),
+    _under("Pegasus Market", "Onion Directory", False, False),
+    _under("Abacus", "[33]", False, False),
+    # -- personal contact points --
+    _contact("Skyisthelimitservice@gmail.com", "Email"),
+    _contact("t.me/BusinessAts", "Telegram"),
+    _contact("t.me/sheriff_x", "Telegram"),
+    _contact("t.me/igexpertbhw", "Telegram"),
+    _contact("t.me/lulpola", "Telegram"),
+    _contact("t.me/prudentagency11", "Telegram"),
+    _contact("t.me/gunnupgrades", "Telegram"),
+    _contact("+16193762832", "Whatsapp"),
+    _contact("@gunnupg", "Discord"),
+]
+
+
+def triage(channels: List[Channel]) -> List[Channel]:
+    """The Section-3.1 selection rule: automated monitoring needs a channel
+    that both sells accounts and exposes handles publicly."""
+    return [c for c in channels if c.selling and c.handles_public]
+
+
+def monitored_channels() -> List[Channel]:
+    return [c for c in CHANNELS if c.monitored]
+
+
+def websites() -> List[Channel]:
+    return [c for c in CHANNELS if c.category in ("Public", "Underground")]
+
+
+def contact_points() -> List[Channel]:
+    return [c for c in CHANNELS if c.category == "Contact"]
+
+
+__all__ = [
+    "CHANNELS",
+    "Channel",
+    "contact_points",
+    "monitored_channels",
+    "triage",
+    "websites",
+]

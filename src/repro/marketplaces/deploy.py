@@ -1,0 +1,52 @@
+"""Stand up the marketplace sites on an :class:`~repro.web.server.Internet`."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.marketplaces.public import PublicMarketplaceSite
+from repro.marketplaces.registry import MARKETPLACES
+from repro.marketplaces.underground import UndergroundForumSite
+from repro.synthetic.model import UndergroundPosting, World
+from repro.util.rng import RngTree
+from repro.web.server import Internet
+
+
+def deploy_public_marketplaces(
+    internet: Internet, world: World
+) -> Dict[str, PublicMarketplaceSite]:
+    """Register all 11 public marketplace sites serving the world's
+    listings.  Returns sites keyed by marketplace name."""
+    sites: Dict[str, PublicMarketplaceSite] = {}
+    for name, spec in MARKETPLACES.items():
+        site = PublicMarketplaceSite(spec, world, clock=internet.clock)
+        internet.register(site)
+        sites[name] = site
+    return sites
+
+
+def deploy_underground(
+    internet: Internet, world: World, rng: RngTree
+) -> Dict[str, UndergroundForumSite]:
+    """Register one hidden-service forum per underground market that has
+    postings in the world."""
+    by_market: Dict[str, List[UndergroundPosting]] = {}
+    for posting in world.underground_postings:
+        by_market.setdefault(posting.market, []).append(posting)
+    sites: Dict[str, UndergroundForumSite] = {}
+    for market, postings in sorted(by_market.items()):
+        site = UndergroundForumSite(
+            market, postings, rng.child(market), clock=internet.clock
+        )
+        internet.register(site)
+        sites[market] = site
+    return sites
+
+
+def set_iteration(sites: Dict[str, PublicMarketplaceSite], iteration: int) -> None:
+    """Advance every public marketplace to a collection iteration."""
+    for site in sites.values():
+        site.current_iteration = iteration
+
+
+__all__ = ["deploy_public_marketplaces", "deploy_underground", "set_iteration"]

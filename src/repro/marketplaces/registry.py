@@ -1,0 +1,78 @@
+"""The registry of the 11 monitored public marketplaces (Table 1).
+
+Each spec captures the quirks that mattered for the paper's crawl:
+whether the market publishes seller profiles, which payment methods its
+help pages disclose (Table 3), how many offers a listing page shows, and
+which HTML theme its pages use.  Themes force the extractor to adapt per
+site, like the real crawler's per-marketplace handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.synthetic import calibration as cal
+from repro.util.textutil import slugify
+
+#: The three markup styles sites use; see ``repro.marketplaces.public``.
+THEMES = ("cards", "table", "dl")
+
+
+@dataclass(frozen=True)
+class MarketplaceSpec:
+    """Static description of one public marketplace."""
+
+    name: str
+    host: str
+    sellers_public: bool
+    payment_methods: Tuple[Tuple[str, str], ...]
+    theme: str
+    page_size: int
+
+    @property
+    def discloses_payments(self) -> bool:
+        return any(group != "Unknown" for group, _m in self.payment_methods)
+
+
+def market_host(name: str) -> str:
+    return f"{slugify(name)}.example"
+
+
+def _build_registry() -> Dict[str, MarketplaceSpec]:
+    themes = {
+        "Accsmarket": ("cards", 40),
+        "FameSwap": ("cards", 30),
+        "Z2U": ("table", 50),
+        "SocialTradia": ("dl", 24),
+        "InstaSale": ("cards", 20),
+        "MidMan": ("table", 25),
+        "TooFame": ("dl", 20),
+        "SwapSocials": ("cards", 15),
+        "SurgeGram": ("dl", 12),
+        "BuySocia": ("table", 16),
+        "FameSeller": ("cards", 10),
+    }
+    registry: Dict[str, MarketplaceSpec] = {}
+    for name in cal.MARKETPLACE_TABLE1:
+        theme, page_size = themes[name]
+        registry[name] = MarketplaceSpec(
+            name=name,
+            host=market_host(name),
+            sellers_public=name not in cal.SELLER_HIDDEN_MARKETS,
+            payment_methods=tuple(cal.PAYMENT_METHODS[name]),
+            theme=theme,
+            page_size=page_size,
+        )
+    return registry
+
+
+MARKETPLACES: Dict[str, MarketplaceSpec] = _build_registry()
+
+
+def seed_urls() -> List[str]:
+    """The per-marketplace seed URLs the crawl starts from (Section 3.2)."""
+    return [f"http://{spec.host}/listings" for spec in MARKETPLACES.values()]
+
+
+__all__ = ["MARKETPLACES", "MarketplaceSpec", "THEMES", "market_host", "seed_urls"]

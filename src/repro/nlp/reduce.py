@@ -1,0 +1,46 @@
+"""Dimensionality reduction (the UMAP role).
+
+Two offline-friendly reducers:
+
+* :func:`pca_reduce` — exact PCA via SVD, for corpora that fit in memory;
+* :func:`random_projection` — a seeded sparse Achlioptas projection, for
+  the 200K-post full-scale corpus where O(n·d²) PCA is unnecessary.
+
+Both preserve what the downstream density clusterer needs: relative
+distances between lexical embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pca_reduce(matrix: np.ndarray, out_dims: int) -> np.ndarray:
+    """Project rows onto the top ``out_dims`` principal components."""
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    out_dims = min(out_dims, matrix.shape[1], max(1, matrix.shape[0] - 1))
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    # SVD of the (n x d) matrix; components are rows of Vt.
+    _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:out_dims].T
+
+
+def random_projection(matrix: np.ndarray, out_dims: int, seed: int = 0) -> np.ndarray:
+    """Sparse random projection (Achlioptas 2003): entries in
+    {+1, 0, -1} with probabilities {1/6, 2/3, 1/6}, scaled by sqrt(3/d)."""
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    in_dims = matrix.shape[1]
+    out_dims = min(out_dims, in_dims)
+    rng = np.random.default_rng(seed)
+    choices = rng.choice(
+        np.array([1.0, 0.0, -1.0]),
+        size=(in_dims, out_dims),
+        p=[1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0],
+    )
+    projection = choices * np.sqrt(3.0 / out_dims)
+    return matrix @ projection
+
+
+__all__ = ["pca_reduce", "random_projection"]

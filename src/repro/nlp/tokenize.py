@@ -1,0 +1,39 @@
+"""Tokenization for the post-analysis pipeline."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_URL_RE = re.compile(r"https?://\S+|\b[\w-]+\.(?:example|onion|com|net|io)\S*")
+_HANDLE_RE = re.compile(r"[@#][\w.]+")
+_TOKEN_RE = re.compile(r"[a-z][a-z']+")
+
+
+def tokenize(text: str, keep_handles: bool = False) -> List[str]:
+    """Lowercase word tokens; URLs stripped, digits dropped.
+
+    ``keep_handles`` keeps @mentions / #hashtags as single tokens (useful
+    as cluster signals); otherwise they are removed.
+
+    >>> tokenize("Visit https://x.example NOW and DM @fastpayout!!")
+    ['visit', 'now', 'and', 'dm']
+    >>> tokenize("win #crypto", keep_handles=True)
+    ['win', '#crypto']
+    """
+    lowered = text.lower()
+    lowered = _URL_RE.sub(" ", lowered)
+    handles: List[str] = []
+    if keep_handles:
+        handles = _HANDLE_RE.findall(lowered)
+    lowered = _HANDLE_RE.sub(" ", lowered)
+    tokens = _TOKEN_RE.findall(lowered)
+    return tokens + handles
+
+
+def bigrams(tokens: List[str]) -> List[str]:
+    """Adjacent-token bigrams joined with an underscore."""
+    return [f"{a}_{b}" for a, b in zip(tokens, tokens[1:])]
+
+
+__all__ = ["bigrams", "tokenize"]

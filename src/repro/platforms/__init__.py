@@ -1,0 +1,34 @@
+"""Social media platform simulators.
+
+One :class:`~repro.platforms.base.PlatformSite` per studied platform
+(X, Instagram, Facebook, TikTok, YouTube), each serving:
+
+* public profile pages (``/<handle>``) that marketplace listings link to;
+* a metadata API (``/api/users/<handle>``) returning the fields the paper
+  collected: name, description, creation date, followers, location,
+  category, account type, contact details;
+* a timeline API (``/api/users/<handle>/posts``) returning post texts,
+  dates and engagement counts;
+* platform-specific error envelopes for actioned accounts (Section 8):
+  X answers ``Forbidden`` for banned and ``Not Found`` for vanished
+  accounts, Instagram serves ``Page Not Found``, TikTok / YouTube /
+  Facebook respond ``Profile/channel does not exist``.
+
+The profile collector in :mod:`repro.crawler` consumes only these
+surfaces, mirroring the paper's use of official APIs and Apify scrapers.
+"""
+
+from repro.platforms.base import PLATFORM_HOSTS, PlatformSite, profile_url
+from repro.platforms.api import ApiStatus, parse_profile_payload, parse_timeline_payload
+from repro.platforms.deploy import deploy_platforms, enable_moderation
+
+__all__ = [
+    "ApiStatus",
+    "PLATFORM_HOSTS",
+    "PlatformSite",
+    "deploy_platforms",
+    "enable_moderation",
+    "parse_profile_payload",
+    "parse_timeline_payload",
+    "profile_url",
+]

@@ -1,0 +1,148 @@
+"""Client-side normalization of the platform APIs.
+
+Each platform spells its fields differently and answers differently for
+actioned accounts; this module folds all of that into one
+:class:`ProfilePayload` / :class:`TimelinePayload` shape plus an
+:class:`ApiStatus`, which is what Section 8's efficacy analysis consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.synthetic.model import Platform
+from repro.util.simtime import SimDate
+from repro.web import http
+from repro.web.http import Response
+
+_HANDLE_FIELDS = ("screen_name", "username", "unique_id", "channel_handle")
+_FOLLOWER_FIELDS = ("followers_count", "follower_count", "followers", "fans", "subscribers")
+
+
+class ApiStatus(str, enum.Enum):
+    """Normalized account status derived from an API answer (Section 8)."""
+
+    ACTIVE = "active"
+    FORBIDDEN = "forbidden"  # banned by the platform (X's 403)
+    NOT_FOUND = "not_found"  # deleted / renamed / banned-invisible
+    ERROR = "error"  # transport or server failure
+
+    @property
+    def inactive(self) -> bool:
+        """Inactive = actioned, under the paper's conservative reading."""
+        return self in (ApiStatus.FORBIDDEN, ApiStatus.NOT_FOUND)
+
+
+@dataclass
+class ProfilePayload:
+    """Normalized profile metadata."""
+
+    status: ApiStatus
+    handle: Optional[str] = None
+    account_id: Optional[str] = None
+    name: Optional[str] = None
+    description: Optional[str] = None
+    created: Optional[SimDate] = None
+    followers: Optional[int] = None
+    account_type: Optional[str] = None
+    location: Optional[str] = None
+    category: Optional[str] = None
+    email: Optional[str] = None
+    phone: Optional[str] = None
+    website: Optional[str] = None
+
+
+@dataclass
+class TimelinePost:
+    post_id: str
+    text: str
+    date: Optional[SimDate]
+    likes: int
+    views: int
+
+
+@dataclass
+class TimelinePayload:
+    status: ApiStatus
+    total: int = 0
+    posts: List[TimelinePost] = field(default_factory=list)
+
+
+def _status_of(response: Response) -> ApiStatus:
+    if response.status == http.FORBIDDEN:
+        return ApiStatus.FORBIDDEN
+    if response.status == http.NOT_FOUND:
+        return ApiStatus.NOT_FOUND
+    if response.ok:
+        return ApiStatus.ACTIVE
+    return ApiStatus.ERROR
+
+
+def _first_present(payload: Dict, keys) -> Optional[str]:
+    for key in keys:
+        if key in payload and payload[key] is not None:
+            return payload[key]
+    return None
+
+
+def parse_profile_payload(platform: Platform, response: Response) -> ProfilePayload:
+    """Normalize a profile-API response from any platform."""
+    status = _status_of(response)
+    if status is not ApiStatus.ACTIVE:
+        return ProfilePayload(status=status)
+    try:
+        payload = json.loads(response.body)
+    except json.JSONDecodeError:
+        return ProfilePayload(status=ApiStatus.ERROR)
+    created_raw = payload.get("created_at")
+    followers_raw = _first_present(payload, _FOLLOWER_FIELDS)
+    return ProfilePayload(
+        status=ApiStatus.ACTIVE,
+        handle=_first_present(payload, _HANDLE_FIELDS),
+        account_id=payload.get("id"),
+        name=payload.get("name"),
+        description=payload.get("description"),
+        created=SimDate.parse(created_raw) if created_raw else None,
+        followers=int(followers_raw) if followers_raw is not None else None,
+        account_type=payload.get("account_type"),
+        location=payload.get("location"),
+        category=payload.get("category"),
+        email=payload.get("email"),
+        phone=payload.get("phone"),
+        website=payload.get("website"),
+    )
+
+
+def parse_timeline_payload(platform: Platform, response: Response) -> TimelinePayload:
+    """Normalize a timeline-API response from any platform."""
+    status = _status_of(response)
+    if status is not ApiStatus.ACTIVE:
+        return TimelinePayload(status=status)
+    try:
+        payload = json.loads(response.body)
+    except json.JSONDecodeError:
+        return TimelinePayload(status=ApiStatus.ERROR)
+    posts = [
+        TimelinePost(
+            post_id=entry.get("id", ""),
+            text=entry.get("text", ""),
+            date=SimDate.parse(entry["date"]) if entry.get("date") else None,
+            likes=int(entry.get("likes", 0)),
+            views=int(entry.get("views", 0)),
+        )
+        for entry in payload.get("posts", [])
+    ]
+    return TimelinePayload(status=ApiStatus.ACTIVE, total=int(payload.get("total", len(posts))), posts=posts)
+
+
+__all__ = [
+    "ApiStatus",
+    "ProfilePayload",
+    "TimelinePayload",
+    "TimelinePost",
+    "parse_profile_payload",
+    "parse_timeline_payload",
+]

@@ -1,0 +1,38 @@
+"""Stand up all five platform sites on an :class:`~repro.web.server.Internet`."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.platforms.base import PlatformSite
+from repro.synthetic.model import Platform, World
+from repro.web.server import Internet
+
+
+def deploy_platforms(
+    internet: Internet, world: World, enforce_moderation: bool = True
+) -> Dict[Platform, PlatformSite]:
+    """Register one :class:`PlatformSite` per platform, serving the
+    world's account population.  Returns the sites keyed by platform.
+
+    Pass ``enforce_moderation=False`` to serve the pre-ban state of the
+    world (used while the study's data collection runs)."""
+    sites: Dict[Platform, PlatformSite] = {}
+    for platform in Platform:
+        accounts = world.accounts_on(platform)
+        site = PlatformSite(
+            platform, accounts, clock=internet.clock,
+            enforce_moderation=enforce_moderation,
+        )
+        internet.register(site)
+        sites[platform] = site
+    return sites
+
+
+def enable_moderation(sites: Dict[Platform, PlatformSite]) -> None:
+    """Flip every platform to enforce bans (the Section-8 state)."""
+    for site in sites.values():
+        site.enforce_moderation = True
+
+
+__all__ = ["deploy_platforms"]

@@ -1,0 +1,35 @@
+"""The synthetic account-trading ecosystem.
+
+The paper's dataset (38,253 marketplace listings, 11,457 visible social
+media profiles, 205,583 posts, 65 underground postings) is shared only on
+request and cannot be re-collected here.  This package generates a
+deterministic stand-in world calibrated to every marginal the paper
+publishes (see ``calibration.py`` — each constant cites its table/figure),
+with ground-truth labels attached so the measurement pipeline built on top
+can be validated end to end.
+
+Entry point: :class:`repro.synthetic.world.WorldBuilder`.
+"""
+
+from repro.synthetic.model import (
+    Listing,
+    Platform,
+    Post,
+    Seller,
+    SocialAccount,
+    UndergroundPosting,
+    World,
+)
+from repro.synthetic.world import WorldBuilder, WorldConfig
+
+__all__ = [
+    "Listing",
+    "Platform",
+    "Post",
+    "Seller",
+    "SocialAccount",
+    "UndergroundPosting",
+    "World",
+    "WorldBuilder",
+    "WorldConfig",
+]

@@ -1,0 +1,432 @@
+"""Calibration constants for the synthetic world.
+
+Every constant below is taken from the paper; the citation next to each
+value names the table, figure, or section it comes from.  The world
+builder consumes these so that, at scale 1.0, the generated ecosystem
+reproduces the paper's published marginals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# ---------------------------------------------------------------------------
+# Platforms (Section 1)
+# ---------------------------------------------------------------------------
+
+PLATFORMS = ("X", "Instagram", "Facebook", "TikTok", "YouTube")
+
+# ---------------------------------------------------------------------------
+# Table 1 — public marketplaces: sellers and listings
+# ---------------------------------------------------------------------------
+
+#: marketplace -> (sellers, listings).  Sellers None => the market hides
+#: seller identity (Section 4.1 names 5 such markets).
+MARKETPLACE_TABLE1: Dict[str, Tuple[int, int]] = {
+    "Accsmarket": (2455, 13665),
+    "FameSwap": (6617, 8833),
+    "Z2U": (240, 6417),
+    "SocialTradia": (0, 4020),
+    "InstaSale": (251, 1950),
+    "MidMan": (304, 1282),
+    "TooFame": (0, 695),
+    "SwapSocials": (0, 530),
+    "SurgeGram": (0, 205),
+    "BuySocia": (0, 547),
+    "FameSeller": (77, 109),
+}
+
+#: Markets that omit public seller information (Section 4.1 / Table 1).
+SELLER_HIDDEN_MARKETS = frozenset(
+    {"SocialTradia", "TooFame", "SwapSocials", "SurgeGram", "BuySocia"}
+)
+
+TOTAL_LISTINGS = 38253  # Table 1 total
+TOTAL_SELLERS = 9944  # Table 1 total (text says 9,949; table sums 9,944)
+
+# ---------------------------------------------------------------------------
+# Table 2 — listings and visible accounts per platform
+# ---------------------------------------------------------------------------
+
+#: platform -> (visible accounts, posts collected from them, all listings)
+PLATFORM_TABLE2: Dict[str, Tuple[int, int, int]] = {
+    "Instagram": (2023, 4207, 12658),
+    "YouTube": (6271, 3411, 9087),
+    "TikTok": (1700, 25131, 8973),
+    "Facebook": (649, 7407, 4216),
+    "X": (814, 165427, 3319),
+}
+
+TOTAL_VISIBLE = 11457
+TOTAL_POSTS = 205583
+
+# ---------------------------------------------------------------------------
+# Table 3 — payment methods per marketplace (Appendix A)
+# ---------------------------------------------------------------------------
+
+#: marketplace -> list of (group, method) it supports.  "Unknown" means
+#: the marketplace does not disclose payment methods publicly.
+PAYMENT_METHODS: Dict[str, List[Tuple[str, str]]] = {
+    "Accsmarket": [("Unknown", "Unknown")],
+    "FameSwap": [("Unknown", "Unknown")],
+    "Z2U": [
+        ("Traditional", "Visa"),
+        ("Traditional", "PayDirekt"),
+        ("Prepaid Vouchers", "NeoSurf"),
+        ("Exchanges", "Coinbase"),
+        ("Exchanges", "AirWallex"),
+        ("Digital Wallets", "PayPal"),
+        ("Digital Wallets", "Trustly"),
+        ("Digital Wallets", "Skrill"),
+        ("Digital Wallets", "WeChat"),
+        ("Digital Wallets", "AliPay"),
+    ],
+    "SocialTradia": [("Crypto", "ETH")],
+    "InstaSale": [("Unknown", "Unknown")],
+    "MidMan": [
+        ("Traditional", "GPay Visa"),
+        ("Traditional", "DLocal"),
+        ("Traditional", "Appota Visa"),
+        ("Crypto", "BTC"),
+        ("Crypto", "ETH"),
+        ("Crypto", "LiteCoin"),
+        ("Crypto", "Tether"),
+        ("Crypto", "BNB"),
+        ("Crypto", "Matic"),
+        ("Crypto", "Dash"),
+        ("Digital Wallets", "Payssion"),
+        ("Escrow-Based", "Trustap"),
+        ("Escrow-Based", "Payer"),
+    ],
+    "TooFame": [("Unknown", "Unknown")],
+    "SwapSocials": [
+        ("Crypto", "BTC"),
+        ("Crypto", "ETH"),
+        ("Crypto", "BNB"),
+        ("Exchanges", "Coinbase"),
+        ("Escrow-Based", "Trustap"),
+    ],
+    "SurgeGram": [("Traditional", "Visa")],
+    "BuySocia": [("Crypto", "BTC"), ("Crypto", "ETH")],
+    "FameSeller": [("Digital Wallets", "PayPal"), ("Unknown", "Unknown")],
+}
+
+# ---------------------------------------------------------------------------
+# Section 4.1 — seller countries
+# ---------------------------------------------------------------------------
+
+#: Top seller countries (Section 4.1): (country, sellers at paper scale).
+SELLER_TOP_COUNTRIES: List[Tuple[str, int]] = [
+    ("United States", 2683),
+    ("Ethiopia", 844),
+    ("Pakistan", 596),
+    ("United Kingdom", 382),
+    ("Turkey", 366),
+]
+SELLER_COUNTRY_COUNT = 138  # sellers represented 138 countries
+#: Fraction of sellers that disclose a country at all.  8,833 of the
+#: seller population disclosed (Section 4.1).
+SELLER_COUNTRY_DISCLOSED_FRACTION = 0.23
+
+# ---------------------------------------------------------------------------
+# Section 4.1 — listing categories
+# ---------------------------------------------------------------------------
+
+LISTING_NO_CATEGORY_FRACTION = 8775 / 38253  # "22% lack categorical representation"
+LISTING_CATEGORY_COUNT = 212  # "212 unique categories"
+#: Top listing categories with paper-scale counts (Section 4.1).
+LISTING_TOP_CATEGORIES: List[Tuple[str, int]] = [
+    ("Humor/Memes", 5056),
+    ("Luxury/Motivation", 2292),
+    ("Fashion/Style", 1678),
+    ("Reviews/How-to", 1420),
+    ("Games", 1062),
+]
+
+# ---------------------------------------------------------------------------
+# Section 4.1 — descriptions, verification, monetization
+# ---------------------------------------------------------------------------
+
+LISTING_DESCRIPTION_FRACTION = 24293 / 38253  # "63% included descriptions"
+
+#: Description strategies with paper-scale counts (Section 4.1 lists 8
+#: strategies and gives counts for five of them).
+DESCRIPTION_STRATEGIES: List[Tuple[str, int]] = [
+    ("authentic", 784),
+    ("fresh_and_ready", 157),
+    ("business_adaptability", 122),
+    ("real_user_activity", 116),
+    ("original_email_included", 98),
+    ("never_monetized", 74),
+    ("aged_account", 61),
+    ("bulk_discount", 45),
+]
+
+VERIFIED_LISTINGS = 185  # all YouTube, none with profile URL (Section 4.1)
+
+MONETIZED_LISTINGS = 164
+MONETIZED_REVENUE_RANGE = (1, 922)  # USD / month
+MONETIZED_REVENUE_MEDIAN = 136
+SELLERS_WITH_INCOME_SOURCE = 1020
+INCOME_SOURCE_NARRATIVES: List[Tuple[str, int]] = [
+    ("generic ad-based revenue", 335),
+    ("Google AdSense", 73),
+    ("premium memberships / channel monetization", 73),
+]
+
+# ---------------------------------------------------------------------------
+# Section 4.1 — advertised follower counts and prices
+# ---------------------------------------------------------------------------
+
+LISTING_FOLLOWERS_SHOWN_FRACTION = 15358 / 38253  # "40% displayed follower info"
+
+#: platform -> median advertised follower count on listings (Section 4.1).
+LISTING_FOLLOWER_MEDIANS: Dict[str, int] = {
+    "X": 3077,
+    "Instagram": 26998,
+    "TikTok": 20807,
+    "YouTube": 25700,
+    "Facebook": 76050,
+}
+
+#: platform -> median advertised price in USD (Section 4.1).
+PRICE_MEDIANS: Dict[str, float] = {
+    "Facebook": 14.0,
+    "X": 17.0,
+    "Instagram": 298.0,
+    "TikTok": 755.0,
+    "YouTube": 759.0,
+}
+
+TOTAL_ADVERTISED_VALUE = 64_228_836  # USD (Section 4.1)
+HIGH_PRICE_COUNT = 345  # listings above $20,000
+HIGH_PRICE_THRESHOLD = 20_000
+HIGH_PRICE_MEDIAN = 45_000
+HIGH_PRICE_MAX = 5_000_000
+HIGH_PRICE_TOTAL = 38_040_411
+#: The Figure-3 exemplar: a FameSwap listing near 1M followers at $50M.
+FIG3_OUTLIER_PRICE = 50_000_000
+FIG3_OUTLIER_FOLLOWERS = 990_000
+FIG3_OUTLIER_MARKET = "FameSwap"
+
+#: Log-normal sigma for the price body per platform (tuned so the heavy
+#: tail plus the injected >$20K block approximates the $64M total).
+PRICE_SIGMA: Dict[str, float] = {
+    "Facebook": 1.2,
+    "X": 1.4,
+    "Instagram": 1.15,
+    "TikTok": 1.15,
+    "YouTube": 1.0,
+}
+
+# ---------------------------------------------------------------------------
+# Section 5 — visible-profile metadata
+# ---------------------------------------------------------------------------
+
+PROFILE_LOCATION_COUNT = 3236  # profiles listing a location
+PROFILE_LOCATION_UNIQUE = 140
+PROFILE_TOP_LOCATIONS: List[Tuple[str, int]] = [
+    ("United States", 1242),
+    ("India", 470),
+    ("Pakistan", 222),
+    ("South Korea", 156),
+    ("Bangladesh", 114),
+]
+
+AFFILIATED_CATEGORY_ACCOUNTS = 1171
+AFFILIATED_CATEGORY_UNIQUE = 288
+AFFILIATED_TOP_CATEGORIES: List[Tuple[str, int]] = [
+    ("Brand and Business", 751),
+    ("Entities", 349),
+    ("Digital Assets & Crypto", 334),
+    ("Interests and Hobbies", 322),
+    ("Events", 219),
+]
+
+ACCOUNT_TYPE_COUNTS: Dict[str, int] = {
+    "business": 193,
+    "verified": 669,
+    "private": 65,
+    "protected": 5,
+}
+
+#: Figure 4 — creation dates: ~30% pre-2020, ~70% in the last 3.5 years.
+CREATION_PRE2020_FRACTION = 0.30
+#: Platform-specific earliest creation years (Section 5).
+CREATION_YEAR_FLOOR: Dict[str, int] = {
+    "TikTok": 2017,
+    "X": 2010,
+    "Instagram": 2010,
+    "Facebook": 2010,
+    "YouTube": 2006,
+}
+#: "<0.5% of YouTube accounts were created between 2006 and 2010".
+YOUTUBE_2006_2010_FRACTION = 0.004
+
+#: Table 4 — follower stats of *visible* accounts: platform -> (min,
+#: median, max).
+VISIBLE_FOLLOWERS: Dict[str, Tuple[int, int, int]] = {
+    "TikTok": (0, 1, 6893),
+    "X": (55, 2752, 1_078_130),
+    "Facebook": (115, 27_669, 5_239_529),
+    "Instagram": (1032, 8362, 6_288_290),
+    "YouTube": (0, 8460, 20_500_000),
+}
+
+# ---------------------------------------------------------------------------
+# Section 6 — scam posts (Tables 5 and 6)
+# ---------------------------------------------------------------------------
+
+#: Table 5: platform -> (scam accounts, scam posts).
+SCAM_TABLE5: Dict[str, Tuple[int, int]] = {
+    "Facebook": (512, 3838),
+    "Instagram": (525, 3271),
+    "TikTok": (461, 3034),
+    "X": (610, 6988),
+    "YouTube": (1661, 1661),
+}
+TOTAL_SCAM_ACCOUNTS = 3769
+TOTAL_SCAM_POSTS = 18792
+
+#: Table 6: category -> subcategory -> (accounts, posts) at paper scale.
+SCAM_TAXONOMY: Dict[str, Dict[str, Tuple[int, int]]] = {
+    "Financial Scams": {
+        "Crypto Scams": (2352, 8218),
+        "NFT and Giveaway Scams": (163, 389),
+        "Financial Consulting": (81, 133),
+        "Emotional Exploitation (Charity)": (53, 163),
+    },
+    "Phishing": {
+        "Through Popular Content/Challenges/Trends": (725, 1749),
+        "Through Chat Communication": (208, 544),
+    },
+    "Product/Service Fraud": {
+        "Product Promotion Scams": (296, 739),
+        "Fake Travel Deals": (131, 357),
+        "Vehicle Sale/Rental Fraud": (101, 279),
+        "Sports Betting and Merchandise Scams": (129, 451),
+        "Fake Education-related Offers": (44, 183),
+    },
+    "Adult Content": {
+        "Provocative and Catphishing Lures": (244, 466),
+    },
+    "Impersonation": {
+        "Public Figures": (53, 133),
+        "Fake Tech Support": (135, 259),
+    },
+    "Engagement Bait": {
+        "Like/Follow/Subscribe Requests": (1509, 2999),
+        "Greetings and Motivational Phrases": (791, 1598),
+    },
+}
+
+RAW_TOPIC_CLUSTERS = 86  # "86 distinct clusters"
+SCAM_CLUSTERS = 16  # "16 clusters containing scam-related content"
+CLUSTER_VETTING_SAMPLE = 25  # posts sampled per cluster for manual vetting
+#: Fraction of collected posts that are non-English (filtered by langdetect).
+NON_ENGLISH_POST_FRACTION = 0.08
+
+# ---------------------------------------------------------------------------
+# Table 7 — profile-attribute network clusters
+# ---------------------------------------------------------------------------
+
+#: platform -> (attribute, cluster count, clustered accounts, max size,
+#: median size)
+NETWORK_TABLE7: Dict[str, Tuple[str, int, int, int, int]] = {
+    "TikTok": ("description", 3, 26, 22, 4),
+    "YouTube": ("name", 97, 195, 3, 2),
+    "Instagram": ("biography", 31, 152, 46, 2),
+    "Facebook": ("email/phone/website", 37, 81, 4, 2),
+    "X": ("name/description", 35, 89, 7, 2),
+}
+TOTAL_CLUSTERS = 203
+TOTAL_CLUSTERED_ACCOUNTS = 543
+
+# ---------------------------------------------------------------------------
+# Table 8 — detection efficacy
+# ---------------------------------------------------------------------------
+
+#: platform -> fraction of visible accounts inactive (banned or vanished).
+BLOCKING_EFFICACY: Dict[str, float] = {
+    "YouTube": 0.0502,
+    "Facebook": 0.0570,
+    "X": 0.1867,
+    "Instagram": 0.4641,
+    "TikTok": 0.48,
+}
+OVERALL_EFFICACY = 0.1971
+#: Of inactive accounts, the share that were platform-banned (Forbidden)
+#: versus owner-removed (Not Found).  The paper treats both as "actioned".
+BANNED_SHARE_OF_INACTIVE = 0.6
+#: Trend words over-represented in blocked account names (Section 8).
+TRENDING_BLOCK_TOKENS = ("crypto", "nft", "beauty", "luxury", "animals")
+
+# ---------------------------------------------------------------------------
+# Section 4.2 — underground markets
+# ---------------------------------------------------------------------------
+
+#: market -> (posts, sellers, platforms sold).  Section 4.2 narrative.
+UNDERGROUND_MARKETS: Dict[str, Tuple[int, int, Tuple[str, ...]]] = {
+    "Nexus": (37, 4, ("Instagram", "X", "TikTok")),
+    "We The North": (15, 1, ("TikTok",)),
+    "Dark Matter": (5, 3, ("YouTube", "TikTok", "X")),
+    "Torzon Market": (4, 2, ("Instagram", "TikTok", "YouTube")),
+    "Kerberos": (2, 2, ("TikTok", "X")),
+    "Black Pyramid": (2, 2, ("YouTube",)),
+}
+UNDERGROUND_TOTAL_POSTS = 65
+#: Kerberos' two posts advertise 51 accounts in bulk (Section 4.2).
+KERBEROS_BULK_ACCOUNTS = 51
+#: Post length ranges (words): "averaging between 14 and 123 words".
+UNDERGROUND_POST_WORDS = (14, 123)
+#: TikTok reuse: 12 of 42 TikTok-related posts near-duplicated, traced to
+#: 3 authors; similarity 88–100%.
+UNDERGROUND_TIKTOK_POSTS = 42
+UNDERGROUND_TIKTOK_REUSED = 12
+UNDERGROUND_REUSE_AUTHORS = 3
+UNDERGROUND_REUSE_SIMILARITY = (0.88, 1.0)
+#: Reuse in other platforms: Instagram 2/13, X 1/3, YouTube 3/7 (§4.2).
+UNDERGROUND_OTHER_REUSE: Dict[str, Tuple[int, int]] = {
+    "Instagram": (2, 13),
+    "X": (1, 3),
+    "YouTube": (3, 7),
+}
+#: Two seller usernames appear on more than one underground market.
+UNDERGROUND_CROSS_MARKET_SELLERS = 2
+
+# ---------------------------------------------------------------------------
+# Table 9 — trading channel triage
+# ---------------------------------------------------------------------------
+
+CHANNELS_TOTAL_SITES = 58
+CHANNELS_CONTACT_POINTS = 9
+CHANNELS_MONITORED = 11
+
+# ---------------------------------------------------------------------------
+# Figure 2 — listing dynamics over collection iterations
+# ---------------------------------------------------------------------------
+
+COLLECTION_ITERATIONS = 10
+#: Fraction of the final cumulative stock present at the first iteration.
+INITIAL_STOCK_FRACTION = 0.55
+#: Later arrivals decay geometrically with this ratio, so inventory
+#: replenishment slows over the study window.
+ARRIVAL_DECAY = 0.75
+#: Per-iteration probability that an active listing is delisted (sold or
+#: withdrawn).  Together with the decaying arrivals this makes the active
+#: curve rise, peak, and decline while the cumulative curve keeps growing
+#: — the Figure-2 shape.
+DELISTING_RATE = 0.13
+
+
+def scaled(count: int, scale: float, minimum: int = 0) -> int:
+    """Scale a paper-level count, keeping small non-zero counts alive."""
+    if count == 0:
+        return 0
+    value = round(count * scale)
+    if count > 0 and value < minimum:
+        return minimum
+    return max(value, 1) if scale > 0 else 0
+
+
+__all__ = [name for name in dir() if name.isupper()] + ["scaled"]

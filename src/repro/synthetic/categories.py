@@ -1,0 +1,104 @@
+"""Category taxonomies.
+
+Two distinct taxonomies appear in the paper:
+
+* **Listing categories** (Section 4.1): 212 unique categories sellers tag
+  their offers with, top-5 Humor/Memes, Luxury/Motivation, Fashion/Style,
+  Reviews/How-to, Games.
+* **Affiliated platform categories** (Section 5): 288 platform-assigned
+  profile categories, top-5 Brand and Business, Entities, Digital Assets &
+  Crypto, Interests and Hobbies, Events.
+
+Both are generated deterministically: a fixed head (the paper's top
+entries) plus a combinatorial tail of plausible "Topic/Subtopic" labels.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_LISTING_HEAD: List[str] = [
+    "Humor/Memes",
+    "Luxury/Motivation",
+    "Fashion/Style",
+    "Reviews/How-to",
+    "Games",
+]
+
+_AFFILIATED_HEAD: List[str] = [
+    "Brand and Business",
+    "Entities",
+    "Digital Assets & Crypto",
+    "Interests and Hobbies",
+    "Events",
+]
+
+_TOPIC_POOL: List[str] = [
+    "Travel", "Food", "Fitness", "Beauty", "Pets", "Animals", "Cars",
+    "Tech", "Gadgets", "Music", "Dance", "Art", "Design", "Photography",
+    "Nature", "Sports", "Football", "Basketball", "Anime", "Movies",
+    "Series", "Books", "Quotes", "Business", "Finance", "Stocks",
+    "Real Estate", "DIY", "Crafts", "Gardening", "Parenting", "Health",
+    "Yoga", "Mindset", "Comedy", "Pranks", "Magic", "Science", "History",
+    "Space", "Ocean", "Hiking", "Camping", "Fishing", "Cooking",
+    "Baking", "Streetwear", "Sneakers", "Watches", "Jewelry", "Makeup",
+    "Skincare", "Hair", "Nails", "Weddings", "Babies", "Students",
+    "Careers", "Coding", "AI", "Crypto", "NFT", "Trading", "Betting",
+    "Esports", "Retro", "Vintage", "Minimalism", "Motivation", "Memes",
+]
+
+_QUALIFIER_POOL: List[str] = [
+    "Daily", "Tips", "Facts", "Clips", "Shorts", "Reviews", "News",
+    "Deals", "Lifestyle", "Community", "Fanpage", "Hub", "World",
+    "Central", "Nation", "Zone",
+]
+
+
+def _tail(pool_a: List[str], pool_b: List[str], count: int) -> List[str]:
+    """Deterministic 'A/B' combinations, in a fixed interleaved order."""
+    labels: List[str] = []
+    for i in range(count):
+        topic = pool_a[i % len(pool_a)]
+        qualifier = pool_b[(i // len(pool_a) + i) % len(pool_b)]
+        labels.append(f"{topic}/{qualifier}")
+    seen = set()
+    unique: List[str] = []
+    for label in labels:
+        if label not in seen:
+            seen.add(label)
+            unique.append(label)
+    return unique
+
+
+def listing_categories(count: int = 212) -> List[str]:
+    """The listing-category taxonomy: paper head + generated tail.
+
+    >>> cats = listing_categories()
+    >>> len(cats)
+    212
+    >>> cats[0]
+    'Humor/Memes'
+    """
+    if count < len(_LISTING_HEAD):
+        return _LISTING_HEAD[:count]
+    tail_needed = count - len(_LISTING_HEAD)
+    tail = _tail(_TOPIC_POOL, _QUALIFIER_POOL, tail_needed * 2)
+    tail = [c for c in tail if c not in _LISTING_HEAD][:tail_needed]
+    if len(tail) < tail_needed:
+        raise ValueError(f"cannot generate {count} unique listing categories")
+    return _LISTING_HEAD + tail
+
+
+def affiliated_categories(count: int = 288) -> List[str]:
+    """The platform-affiliated taxonomy: paper head + generated tail."""
+    if count < len(_AFFILIATED_HEAD):
+        return _AFFILIATED_HEAD[:count]
+    tail_needed = count - len(_AFFILIATED_HEAD)
+    tail = _tail(_QUALIFIER_POOL, _TOPIC_POOL, tail_needed * 2)
+    tail = [c for c in tail if c not in _AFFILIATED_HEAD][:tail_needed]
+    if len(tail) < tail_needed:
+        raise ValueError(f"cannot generate {count} unique affiliated categories")
+    return _AFFILIATED_HEAD + tail
+
+
+__all__ = ["affiliated_categories", "listing_categories"]

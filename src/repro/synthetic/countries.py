@@ -1,0 +1,56 @@
+"""Country pools for seller origins and profile locations.
+
+Section 4.1: sellers from 138 countries, top five US / Ethiopia /
+Pakistan / UK / Turkey.  Section 5: profiles list 140 unique locations,
+top five US / India / Pakistan / South Korea / Bangladesh.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: A pool of real country names large enough to sample the paper's 138
+#: seller countries and 140 profile locations from.
+COUNTRIES: List[str] = [
+    "United States", "Ethiopia", "Pakistan", "United Kingdom", "Turkey",
+    "India", "South Korea", "Bangladesh", "Nigeria", "Indonesia",
+    "Brazil", "Mexico", "Philippines", "Vietnam", "Egypt", "Germany",
+    "France", "Italy", "Spain", "Poland", "Ukraine", "Russia", "Canada",
+    "Australia", "Argentina", "Colombia", "Peru", "Chile", "Venezuela",
+    "Morocco", "Algeria", "Tunisia", "Kenya", "Ghana", "South Africa",
+    "Tanzania", "Uganda", "Cameroon", "Senegal", "Ivory Coast",
+    "Saudi Arabia", "United Arab Emirates", "Qatar", "Kuwait", "Jordan",
+    "Lebanon", "Iraq", "Iran", "Israel", "Afghanistan", "Nepal",
+    "Sri Lanka", "Myanmar", "Thailand", "Malaysia", "Singapore",
+    "Cambodia", "Laos", "China", "Japan", "Taiwan", "Hong Kong",
+    "Mongolia", "Kazakhstan", "Uzbekistan", "Azerbaijan", "Georgia",
+    "Armenia", "Romania", "Bulgaria", "Greece", "Serbia", "Croatia",
+    "Bosnia and Herzegovina", "Albania", "North Macedonia", "Slovenia",
+    "Slovakia", "Czech Republic", "Hungary", "Austria", "Switzerland",
+    "Belgium", "Netherlands", "Luxembourg", "Denmark", "Sweden", "Norway",
+    "Finland", "Iceland", "Ireland", "Portugal", "Estonia", "Latvia",
+    "Lithuania", "Belarus", "Moldova", "Cuba", "Dominican Republic",
+    "Haiti", "Jamaica", "Trinidad and Tobago", "Guatemala", "Honduras",
+    "El Salvador", "Nicaragua", "Costa Rica", "Panama", "Ecuador",
+    "Bolivia", "Paraguay", "Uruguay", "Guyana", "Suriname", "Zambia",
+    "Zimbabwe", "Mozambique", "Angola", "Namibia", "Botswana", "Malawi",
+    "Rwanda", "Burundi", "Somalia", "Sudan", "South Sudan", "Libya",
+    "Mauritania", "Mali", "Niger", "Chad", "Burkina Faso", "Benin",
+    "Togo", "Liberia", "Sierra Leone", "Guinea", "Gambia", "Gabon",
+    "Republic of the Congo", "DR Congo", "Madagascar", "Mauritius",
+    "Fiji", "Papua New Guinea", "New Zealand", "Yemen", "Oman",
+    "Bahrain", "Syria", "Cyprus", "Malta",
+]
+
+#: Seller-country head of the distribution (Section 4.1 order).
+SELLER_COUNTRY_HEAD: List[str] = [
+    "United States", "Ethiopia", "Pakistan", "United Kingdom", "Turkey",
+]
+
+#: Profile-location head of the distribution (Section 5 order).
+PROFILE_LOCATION_HEAD: List[str] = [
+    "United States", "India", "Pakistan", "South Korea", "Bangladesh",
+]
+
+
+__all__ = ["COUNTRIES", "PROFILE_LOCATION_HEAD", "SELLER_COUNTRY_HEAD"]

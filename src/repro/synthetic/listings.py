@@ -1,0 +1,287 @@
+"""Listing generation (Section 4.1).
+
+Builds the 38K public-marketplace offers with every attribute the anatomy
+analysis measures: categories (212, 22 % untagged), descriptions (63 %
+present, 8 strategies), monetization claims, verified claims (YouTube
+only, never with a profile URL), advertised follower counts (40 % shown),
+prices, and the listing/delisting dynamics behind Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.synthetic import calibration as cal
+from repro.synthetic.categories import listing_categories
+from repro.synthetic.model import Listing, Monetization, Platform, SocialAccount
+from repro.synthetic.pricing import PriceModel
+from repro.util.money import Money
+from repro.util.rng import RngTree
+from repro.util.textutil import compact_number
+
+_STRATEGY_TEMPLATES = {
+    "authentic": (
+        "100% authentic account with organic audience, no bots, all real "
+        "followers built over time. Safe transfer with original details."
+    ),
+    "fresh_and_ready": (
+        "No shout outs have ever been done on the account. The account is "
+        "fresh and ready for whatever purposes you need - CPA, product "
+        "promotion, drop shipping, traffic generation. Save yourself the "
+        "time and energy of starting a new account and growing it."
+    ),
+    "business_adaptability": (
+        "Perfect for any business niche, easy to rebrand and adapt. Comes "
+        "with audience insights and promotion history for smooth handover."
+    ),
+    "real_user_activity": (
+        "Real users with daily activity, comments and shares on every post. "
+        "Engagement rate stays high week after week."
+    ),
+    "original_email_included": (
+        "Original email included with the sale, full ownership transfer, "
+        "no recovery risk. First owner, never resold."
+    ),
+    "never_monetized": (
+        "Never monetized, clean history, no strikes or warnings. Ready for "
+        "your monetization application from day one."
+    ),
+    "aged_account": (
+        "Aged account with long history, registered years ago. Old accounts "
+        "pass checks easily and look trustworthy."
+    ),
+    "bulk_discount": (
+        "Bulk packages available, discount for orders of five or more. "
+        "Contact us for wholesale prices and instant delivery."
+    ),
+}
+
+_GENERIC_DESCRIPTIONS = [
+    "Selling this {platform} account with {followers} followers. The "
+    "account averages strong views per post and has an engaged audience. "
+    "If you are interested in purchasing, feel free to make an offer.",
+    "Great {platform} page in the {category} niche, steady growth, "
+    "{followers} followers. Serious buyers only, escrow accepted.",
+    "{platform} account for sale, {followers} followers, niche {category}. "
+    "Price negotiable for fast deal, message me for analytics screenshots.",
+]
+
+_INCOME_NARRATIVES = {
+    "generic ad-based revenue": (
+        "The account generates income by selling promotion plans and ads. "
+        "You can sell posts, reposts or campaign combos. A revenue share "
+        "is also a smart option. I can teach you everything to help you "
+        "make income with my account."
+    ),
+    "Google AdSense": (
+        "Monetized with Google AdSense, payouts arrive monthly to your "
+        "linked account. Analytics access included before purchase."
+    ),
+    "premium memberships / channel monetization": (
+        "You can monetise your content by selling promo videos or putting "
+        "watermarks on your videos for money. Channel memberships are "
+        "enabled with active paying subscribers."
+    ),
+}
+
+
+class ListingFactory:
+    """Builds listings for the public marketplaces."""
+
+    def __init__(self, rng: RngTree, scale: float, iterations: int) -> None:
+        self._rng = rng
+        self._scale = scale
+        self._iterations = iterations
+        self._price_model = PriceModel(rng.child("prices"))
+        self._counter = 0
+        self._categories = listing_categories(cal.LISTING_CATEGORY_COUNT)
+        head_counts = dict(cal.LISTING_TOP_CATEGORIES)
+        head_total = sum(head_counts.values())
+        categorized_total = cal.TOTAL_LISTINGS * (1 - cal.LISTING_NO_CATEGORY_FRACTION)
+        tail_total = categorized_total - head_total
+        tail_count = len(self._categories) - len(head_counts)
+        # Decaying tail weights averaging tail_total / tail_count.
+        raw_tail = [1.0 / (i + 4) ** 0.75 for i in range(tail_count)]
+        tail_scale = tail_total / sum(raw_tail)
+        self._category_weights = [
+            float(head_counts.get(c, 0.0)) for c in self._categories[: len(head_counts)]
+        ] + [w * tail_scale for w in raw_tail]
+        # Per-listing probabilities for rare attributes, at paper scale.
+        self._monetized_p = cal.MONETIZED_LISTINGS / cal.TOTAL_LISTINGS
+        self._income_p = cal.SELLERS_WITH_INCOME_SOURCE / cal.TOTAL_SELLERS
+        strategy_total = sum(c for _s, c in cal.DESCRIPTION_STRATEGIES)
+        described = cal.TOTAL_LISTINGS * cal.LISTING_DESCRIPTION_FRACTION
+        self._strategy_p = strategy_total / described
+        self._strategies = [s for s, _c in cal.DESCRIPTION_STRATEGIES]
+        self._strategy_weights = [float(c) for _s, c in cal.DESCRIPTION_STRATEGIES]
+
+    # -- pieces -----------------------------------------------------------
+
+    def _next_id(self, marketplace: str) -> str:
+        self._counter += 1
+        return f"{marketplace.lower()}-{self._counter:06d}"
+
+    def _category(self) -> Optional[str]:
+        rng = self._rng
+        if rng.bernoulli(cal.LISTING_NO_CATEGORY_FRACTION):
+            return None
+        return rng.weighted_choice(self._categories, self._category_weights)
+
+    def _followers_claim(self, platform: Platform) -> Optional[int]:
+        rng = self._rng
+        if not rng.bernoulli(cal.LISTING_FOLLOWERS_SHOWN_FRACTION):
+            return None
+        median_followers = cal.LISTING_FOLLOWER_MEDIANS[platform.value]
+        return max(10, int(rng.lognormal(median_followers, 1.3)))
+
+    def _description(
+        self, platform: Platform, category: Optional[str], followers: Optional[int]
+    ) -> tuple:
+        """Return (description, strategy) or (None, None)."""
+        rng = self._rng
+        if not rng.bernoulli(cal.LISTING_DESCRIPTION_FRACTION):
+            return None, None
+        if rng.bernoulli(self._strategy_p):
+            strategy = rng.weighted_choice(self._strategies, self._strategy_weights)
+            return _STRATEGY_TEMPLATES[strategy], strategy
+        text = rng.choice(_GENERIC_DESCRIPTIONS).format(
+            platform=platform.value,
+            category=category or "general",
+            followers=compact_number(followers or rng.randint(1000, 900000)),
+        )
+        return text, None
+
+    def _title(
+        self,
+        platform: Platform,
+        category: Optional[str],
+        followers: Optional[int],
+        account: Optional[SocialAccount],
+    ) -> str:
+        rng = self._rng
+        parts = [f"{platform.value} account"]
+        if followers:
+            parts.append(f"{compact_number(followers)} followers")
+        if category:
+            parts.append(f"{category} niche")
+        if account is not None and rng.bernoulli(0.6):
+            parts.append(f"@{account.handle}")
+        if rng.bernoulli(0.25):
+            parts.append(rng.choice(["HOT", "instant delivery", "OG", "cheap", "trusted seller"]))
+        return " - ".join(parts)
+
+    def _iterations_lifecycle(self) -> tuple:
+        """(listed_iteration, delisted_iteration or None) for Figure 2.
+
+        Arrivals: a share of the stock is live at iteration 0, the rest
+        arrives with geometrically decaying probability; departures: a
+        constant per-iteration delisting hazard.  Active listings rise,
+        peak, then decline while the cumulative count keeps growing.
+        """
+        rng = self._rng
+        n = self._iterations
+        if n <= 1 or rng.bernoulli(cal.INITIAL_STOCK_FRACTION):
+            listed = 0
+        else:
+            weights = [cal.ARRIVAL_DECAY ** i for i in range(1, n)]
+            listed = rng.weighted_choice(list(range(1, n)), weights)
+        delisted: Optional[int] = None
+        for iteration in range(listed + 1, n):
+            if rng.bernoulli(cal.DELISTING_RATE):
+                delisted = iteration
+                break
+        return listed, delisted
+
+    # -- whole listing -------------------------------------------------------
+
+    def build_listing(
+        self,
+        marketplace: str,
+        platform: Platform,
+        seller_id: Optional[str],
+        account: Optional[SocialAccount],
+        verified_claim: bool = False,
+    ) -> Listing:
+        rng = self._rng
+        category = self._category()
+        followers = self._followers_claim(platform)
+        description, strategy = self._description(platform, category, followers)
+        listed, delisted = self._iterations_lifecycle()
+        listing = Listing(
+            listing_id=self._next_id(marketplace),
+            marketplace=marketplace,
+            seller_id=seller_id,
+            platform=platform,
+            title=self._title(platform, category, followers, account),
+            price=self._price_model.body_price(platform.value),
+            category=category,
+            description=description,
+            description_strategy=strategy,
+            followers_claimed=followers,
+            verified_claim=verified_claim,
+            visible_account_id=account.account_id if account else None,
+            listed_iteration=listed,
+            delisted_iteration=delisted,
+        )
+        if rng.bernoulli(self._monetized_p):
+            income = None
+            if rng.bernoulli(0.6):
+                income = rng.weighted_choice(
+                    list(_INCOME_NARRATIVES),
+                    [float(c) for _n, c in cal.INCOME_SOURCE_NARRATIVES],
+                )
+            listing.monetization = Monetization(
+                monthly_revenue=self._price_model.monetization_revenue(),
+                income_source=_INCOME_NARRATIVES.get(income) if income else None,
+            )
+        return listing
+
+    def inject_high_prices(self, listings: List[Listing]) -> int:
+        """Re-price a scaled sample of listings into the >$20K block.
+
+        The block lives on the expensive platforms (Instagram / TikTok /
+        YouTube) — Facebook's platform total is only $146K in the paper,
+        so it cannot host five-figure listings — and the $5M maximum is
+        pinned to a TikTok listing, keeping TikTok the top-grossing
+        platform (Section 4.1).
+        """
+        rng = self._rng
+        count = cal.scaled(cal.HIGH_PRICE_COUNT, self._scale, minimum=3)
+        candidates = [
+            l for l in listings
+            if l.platform in (Platform.INSTAGRAM, Platform.TIKTOK, Platform.YOUTUBE)
+        ]
+        count = min(count, len(candidates))
+        if count == 0:
+            return 0
+        prices = self._price_model.high_prices(count)  # last entry is the max
+        chosen = rng.sample(candidates, count)
+        tiktok = [l for l in chosen if l.platform is Platform.TIKTOK]
+        if tiktok:
+            # Move the pinned maximum onto a TikTok listing.
+            chosen.remove(tiktok[0])
+            chosen.append(tiktok[0])
+        for listing, price in zip(chosen, prices):
+            listing.price = price
+        return count
+
+    def inject_fig3_outlier(self, listings: List[Listing]) -> Optional[Listing]:
+        """Mark one FameSwap listing as the $50M Figure-3 exemplar."""
+        candidates = [
+            l for l in listings
+            if l.marketplace == cal.FIG3_OUTLIER_MARKET and not l.excluded_outlier
+        ]
+        if not candidates:
+            return None
+        listing = self._rng.choice(candidates)
+        listing.price = Money.dollars(cal.FIG3_OUTLIER_PRICE)
+        listing.followers_claimed = cal.FIG3_OUTLIER_FOLLOWERS
+        listing.excluded_outlier = True
+        listing.title = (
+            f"{listing.platform.value} account - "
+            f"{compact_number(cal.FIG3_OUTLIER_FOLLOWERS)} followers - premium"
+        )
+        return listing
+
+
+__all__ = ["ListingFactory"]

@@ -1,0 +1,230 @@
+"""Ground-truth entity model of the synthetic world.
+
+These dataclasses are what the *world* knows about itself.  The
+measurement pipeline never touches them directly: marketplaces render
+listings into HTML, platforms serve accounts through API endpoints, and
+the pipeline re-derives its own records from those surfaces.  Ground truth
+exists so tests can score the pipeline (e.g. scam-detection precision) and
+so calibration can be asserted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.money import Money
+from repro.util.simtime import SimDate
+
+
+class Platform(str, enum.Enum):
+    """The five social media platforms studied."""
+
+    X = "X"
+    INSTAGRAM = "Instagram"
+    FACEBOOK = "Facebook"
+    TIKTOK = "TikTok"
+    YOUTUBE = "YouTube"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Platform":
+        for member in cls:
+            if member.value.lower() == name.lower():
+                return member
+        raise ValueError(f"unknown platform: {name}")
+
+
+class AccountType(str, enum.Enum):
+    """Profile types observed in Section 5."""
+
+    STANDARD = "standard"
+    BUSINESS = "business"
+    VERIFIED = "verified"
+    PRIVATE = "private"
+    PROTECTED = "protected"
+
+
+class AccountFate(str, enum.Enum):
+    """What happened to a visible account by the end of the study (§8)."""
+
+    ACTIVE = "active"
+    BANNED = "banned"  # platform action -> Forbidden-style API answer
+    VANISHED = "vanished"  # owner deleted / renamed -> Not Found-style answer
+
+
+@dataclass
+class Post:
+    """One social media post."""
+
+    post_id: str
+    account_id: str
+    text: str
+    date: SimDate
+    likes: int = 0
+    views: int = 0
+    language: str = "en"
+    #: Ground truth: the scam subtype this post was generated from, or None.
+    scam_subtype: Optional[str] = None
+
+    @property
+    def is_scam(self) -> bool:
+        return self.scam_subtype is not None
+
+
+@dataclass
+class SocialAccount:
+    """One social media profile that a listing points at."""
+
+    account_id: str
+    platform: Platform
+    handle: str
+    display_name: str
+    description: str
+    created: SimDate
+    followers: int
+    account_type: AccountType = AccountType.STANDARD
+    location: Optional[str] = None
+    affiliated_category: Optional[str] = None
+    email: Optional[str] = None
+    phone: Optional[str] = None
+    website: Optional[str] = None
+    posts: List[Post] = field(default_factory=list)
+    #: Ground truth network cluster (Table 7); None = singleton.
+    cluster_id: Optional[str] = None
+    #: Ground truth: scam subtypes this account posts (Table 5/6).
+    scam_subtypes: Tuple[str, ...] = ()
+    fate: AccountFate = AccountFate.ACTIVE
+    fate_date: Optional[SimDate] = None
+
+    @property
+    def is_scammer(self) -> bool:
+        return bool(self.scam_subtypes)
+
+    @property
+    def is_active(self) -> bool:
+        return self.fate is AccountFate.ACTIVE
+
+
+@dataclass
+class Seller:
+    """A marketplace seller profile."""
+
+    seller_id: str
+    marketplace: str
+    name: str
+    country: Optional[str] = None
+    joined: Optional[SimDate] = None
+    rating: float = 0.0
+
+
+@dataclass
+class Monetization:
+    """Monetization details some listings advertise (Section 4.1)."""
+
+    monthly_revenue: Money
+    income_source: Optional[str] = None
+
+
+@dataclass
+class Listing:
+    """One account-for-sale offer on a public marketplace."""
+
+    listing_id: str
+    marketplace: str
+    seller_id: Optional[str]  # None on markets that hide sellers
+    platform: Platform
+    title: str
+    price: Money
+    category: Optional[str] = None
+    description: Optional[str] = None
+    description_strategy: Optional[str] = None
+    followers_claimed: Optional[int] = None
+    verified_claim: bool = False
+    monetization: Optional[Monetization] = None
+    #: Link to the actual profile; None for the 71% of listings that do
+    #: not expose the handle (Table 2's visible/all split).
+    visible_account_id: Optional[str] = None
+    #: Index of the collection iteration at which the listing appeared.
+    listed_iteration: int = 0
+    #: Iteration at which it went offline (sold/withdrawn); None = active.
+    delisted_iteration: Optional[int] = None
+    #: Fig-3-style absurd-price outlier, excluded from anatomy aggregates.
+    excluded_outlier: bool = False
+
+    def active_at(self, iteration: int) -> bool:
+        """Is the listing online at the given collection iteration?"""
+        if iteration < self.listed_iteration:
+            return False
+        return self.delisted_iteration is None or iteration < self.delisted_iteration
+
+
+@dataclass
+class UndergroundPosting:
+    """One forum posting on an underground (Tor) marketplace."""
+
+    posting_id: str
+    market: str
+    author: str
+    title: str
+    body: str
+    platform: Platform
+    date: Optional[SimDate] = None
+    price: Optional[Money] = None
+    quantity: int = 1
+    replies: int = 0
+    #: Ground truth: id of the reuse group this posting's text belongs to.
+    reuse_group: Optional[str] = None
+
+
+@dataclass
+class World:
+    """The complete generated ecosystem plus its ground truth."""
+
+    seed: int
+    scale: float
+    iterations: int
+    sellers: Dict[str, Seller] = field(default_factory=dict)
+    listings: Dict[str, Listing] = field(default_factory=dict)
+    accounts: Dict[str, SocialAccount] = field(default_factory=dict)
+    underground_postings: List[UndergroundPosting] = field(default_factory=list)
+
+    # -- convenience views ---------------------------------------------------
+
+    def listings_for_market(self, marketplace: str) -> List[Listing]:
+        return [l for l in self.listings.values() if l.marketplace == marketplace]
+
+    def visible_accounts(self) -> List[SocialAccount]:
+        linked_ids = {
+            l.visible_account_id
+            for l in self.listings.values()
+            if l.visible_account_id is not None
+        }
+        return [self.accounts[aid] for aid in sorted(linked_ids)]
+
+    def accounts_on(self, platform: Platform) -> List[SocialAccount]:
+        return [a for a in self.accounts.values() if a.platform is platform]
+
+    def all_posts(self) -> List[Post]:
+        posts: List[Post] = []
+        for account in self.accounts.values():
+            posts.extend(account.posts)
+        return posts
+
+    @property
+    def marketplaces(self) -> List[str]:
+        return sorted({l.marketplace for l in self.listings.values()})
+
+
+__all__ = [
+    "AccountFate",
+    "AccountType",
+    "Listing",
+    "Monetization",
+    "Platform",
+    "Post",
+    "Seller",
+    "SocialAccount",
+    "UndergroundPosting",
+    "World",
+]

@@ -1,0 +1,70 @@
+"""Ground-truth account fates: who gets banned or vanishes (Section 8).
+
+Table 8 gives per-platform blocking efficacies; Section 8 observes that
+blocked accounts disproportionately carry trending tokens (crypto, NFT,
+beauty, luxury, animals) in their names.  We reproduce both: the exact
+inactive count per platform, selected with a weighted preference for
+trend-named and scammer accounts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.synthetic import calibration as cal
+from repro.synthetic.model import AccountFate, Platform, SocialAccount
+from repro.util.rng import RngTree
+from repro.util.simtime import STUDY_END, STUDY_START
+
+
+def _trend_score(account: SocialAccount) -> float:
+    """Weight for being actioned: trend-named and scammy accounts first."""
+    name_blob = f"{account.handle} {account.display_name}".lower()
+    weight = 1.0
+    if any(token in name_blob for token in cal.TRENDING_BLOCK_TOKENS):
+        weight *= 4.0
+    if account.is_scammer:
+        weight *= 2.0
+    return weight
+
+
+def _weighted_sample_without_replacement(
+    rng: RngTree, items: List[SocialAccount], weights: List[float], k: int
+) -> List[SocialAccount]:
+    """Efraimidis–Spirakis weighted sampling (deterministic given the rng)."""
+    if k >= len(items):
+        return list(items)
+    keyed = [
+        (rng.random() ** (1.0 / w), item) for item, w in zip(items, weights)
+    ]
+    keyed.sort(key=lambda pair: pair[0], reverse=True)
+    return [item for _key, item in keyed[:k]]
+
+
+def apply_moderation(
+    rng: RngTree, platform: Platform, accounts: Sequence[SocialAccount]
+) -> int:
+    """Mark the Table-8 share of ``accounts`` inactive; return the count.
+
+    Inactive accounts split into platform bans (Forbidden-style API
+    answers) and owner-side vanishing (Not Found) per
+    ``BANNED_SHARE_OF_INACTIVE``; the paper counts both as actioned.
+    """
+    pool = list(accounts)
+    if not pool:
+        return 0
+    efficacy = cal.BLOCKING_EFFICACY[platform.value]
+    target = round(efficacy * len(pool))
+    if target <= 0:
+        return 0
+    weights = [_trend_score(a) for a in pool]
+    chosen = _weighted_sample_without_replacement(rng, pool, weights, target)
+    span = STUDY_START.days_until(STUDY_END)
+    for account in chosen:
+        banned = rng.bernoulli(cal.BANNED_SHARE_OF_INACTIVE)
+        account.fate = AccountFate.BANNED if banned else AccountFate.VANISHED
+        account.fate_date = STUDY_START.plus_days(rng.randint(0, max(1, span)))
+    return len(chosen)
+
+
+__all__ = ["apply_moderation"]

@@ -1,0 +1,125 @@
+"""Post generation for visible accounts.
+
+Reproduces the Table-2 per-platform post volumes (X timelines dominate
+with 165K posts for 814 accounts; YouTube contributes barely half a post
+per channel) and the Table-5 scam-post volumes, with ~8 % non-English
+posts to exercise the language filter (the paper used CLD2 to keep
+English posts only).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.synthetic import calibration as cal
+from repro.synthetic.model import Platform, Post, SocialAccount
+from repro.synthetic.scamtext import benign_post_text, scam_post_text
+from repro.synthetic.vocab import NON_ENGLISH_POSTS
+from repro.util.rng import RngTree
+from repro.util.simtime import STUDY_START, SimDate
+
+
+def _post_date(account: SocialAccount, rng: RngTree) -> SimDate:
+    """A post date between account creation and the study start."""
+    span = account.created.days_until(STUDY_START)
+    if span <= 1:
+        return account.created
+    # Recent-biased: most collected timeline posts are from the last year.
+    offset = span - int(span * rng.random() ** 2.5)
+    return account.created.plus_days(max(0, min(span, offset)))
+
+
+class PostFactory:
+    """Distributes and generates posts for one platform's population."""
+
+    def __init__(self, rng: RngTree) -> None:
+        self._rng = rng
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"post-{self._counter:08d}"
+
+    def populate_platform(
+        self,
+        platform: Platform,
+        accounts: Sequence[SocialAccount],
+        total_posts: int,
+        scam_posts: int,
+    ) -> None:
+        """Attach posts to ``accounts`` hitting the given volume targets."""
+        if not accounts:
+            return
+        scammers = [a for a in accounts if a.is_scammer]
+        scam_posts = min(scam_posts, total_posts)
+        if scammers:
+            self._attach_scam_posts(scammers, scam_posts)
+        else:
+            scam_posts = 0
+        benign_total = total_posts - scam_posts
+        self._attach_benign_posts(accounts, benign_total)
+
+    # -- scam posts --------------------------------------------------------
+
+    def _attach_scam_posts(self, scammers: List[SocialAccount], scam_posts: int) -> None:
+        """Spread scam posts across scammer accounts, each getting >= 1."""
+        rng = self._rng
+        if scam_posts < len(scammers):
+            # Degenerate at tiny scales: some scammers end up with no scam
+            # posts; trim their ground-truth role so truth matches output.
+            keep = rng.sample(scammers, scam_posts)
+            for account in scammers:
+                if account not in keep:
+                    account.scam_subtypes = ()
+            scammers = keep
+        if not scammers:
+            return
+        weights = [1.0 + 3.0 * rng.random() for _ in scammers]
+        counts = rng.partition_count(scam_posts - len(scammers), weights)
+        for account, extra in zip(scammers, counts):
+            for _ in range(1 + extra):
+                subtype = rng.choice(list(account.scam_subtypes))
+                account.posts.append(
+                    Post(
+                        post_id=self._next_id(),
+                        account_id=account.account_id,
+                        text=scam_post_text(subtype, rng),
+                        date=_post_date(account, rng),
+                        likes=rng.pareto_int(1, alpha=1.1, cap=500_000),
+                        views=rng.pareto_int(10, alpha=0.9, cap=5_000_000),
+                        scam_subtype=subtype,
+                    )
+                )
+
+    # -- benign posts --------------------------------------------------------
+
+    def _attach_benign_posts(self, accounts: Sequence[SocialAccount], benign_total: int) -> None:
+        """Spread benign posts with a heavy-tailed per-account volume."""
+        rng = self._rng
+        if benign_total <= 0:
+            return
+        weights = [rng.random() ** 2 for _ in accounts]
+        counts = rng.partition_count(benign_total, weights)
+        for account, n in zip(accounts, counts):
+            for _ in range(n):
+                non_english = rng.bernoulli(cal.NON_ENGLISH_POST_FRACTION)
+                if non_english:
+                    text = rng.choice(NON_ENGLISH_POSTS)
+                    language = "other"
+                else:
+                    text = benign_post_text(rng)
+                    language = "en"
+                account.posts.append(
+                    Post(
+                        post_id=self._next_id(),
+                        account_id=account.account_id,
+                        text=text,
+                        date=_post_date(account, rng),
+                        likes=rng.pareto_int(1, alpha=1.2, cap=200_000),
+                        views=rng.pareto_int(5, alpha=1.0, cap=2_000_000),
+                        language=language,
+                    )
+                )
+
+
+__all__ = ["PostFactory"]

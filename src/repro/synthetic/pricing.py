@@ -1,0 +1,55 @@
+"""Listing price generation (Section 4.1).
+
+The advertised-price distribution has three parts:
+
+* a log-normal body around the per-platform medians (Facebook $14 …
+  YouTube $759), truncated below $20K;
+* a high-price block (345 listings above $20K at paper scale; median
+  $45K, max $5M) that contributes $38M of the $64.2M total;
+* the Figure-3 exemplar: a single ~$50M FameSwap listing, flagged as an
+  excluded outlier so aggregate statistics match the paper's totals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.synthetic import calibration as cal
+from repro.util.money import Money
+from repro.util.rng import RngTree
+
+
+class PriceModel:
+    """Samples prices for a platform's listings."""
+
+    def __init__(self, rng: RngTree) -> None:
+        self._rng = rng
+
+    def body_price(self, platform: str) -> Money:
+        """A below-threshold price around the platform's median."""
+        median_price = cal.PRICE_MEDIANS[platform]
+        sigma = cal.PRICE_SIGMA[platform]
+        value = self._rng.lognormal(median_price, sigma)
+        value = min(value, cal.HIGH_PRICE_THRESHOLD - 1)
+        return Money.dollars(max(1.0, round(value, 0)))
+
+    def high_prices(self, count: int) -> List[Money]:
+        """The >$20K block: median $45K, one listing pinned at the $5M max."""
+        if count <= 0:
+            return []
+        prices: List[Money] = []
+        for _ in range(count):
+            value = self._rng.lognormal(cal.HIGH_PRICE_MEDIAN, 0.9)
+            value = max(cal.HIGH_PRICE_THRESHOLD + 1, min(value, cal.HIGH_PRICE_MAX))
+            prices.append(Money.dollars(round(value, 0)))
+        prices[-1] = Money.dollars(cal.HIGH_PRICE_MAX)
+        return prices
+
+    def monetization_revenue(self) -> Money:
+        """Monthly revenue for monetized listings ($1–$922, median $136)."""
+        low, high = cal.MONETIZED_REVENUE_RANGE
+        value = self._rng.lognormal(cal.MONETIZED_REVENUE_MEDIAN, 0.9)
+        return Money.dollars(round(max(low, min(high, value)), 0))
+
+
+__all__ = ["PriceModel"]

@@ -1,0 +1,275 @@
+"""Scam and benign post text generation.
+
+Section 6 of the paper clusters 205K posts into 86 topics and identifies
+16 scam clusters, grouped into six scam categories (Table 6).  The paper
+also observes (Section 4.2) that scam copy is heavily templated — listings
+reach 88–100 % textual similarity.  We exploit exactly that property: each
+scam subtype here owns a family of templates with shared, distinctive
+vocabulary, so a lexical-embedding clusterer recovers the taxonomy the way
+the authors' sentence-embedding pipeline did.
+
+The module also exports the *vetting codebook*: the keyword indicators a
+human analyst (or our :class:`~repro.analysis.scam_posts.ClusterVetter`)
+uses to decide whether a cluster is scam-related and which category it
+belongs to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.synthetic.vocab import BENIGN_POST_TEMPLATES, TOPIC_WORDS
+from repro.util.rng import RngTree
+
+# ---------------------------------------------------------------------------
+# Slot fillers
+# ---------------------------------------------------------------------------
+
+_FILLERS: Dict[str, List[str]] = {
+    "coin": ["bitcoin", "ethereum", "solana", "dogecoin", "BNB", "XRP"],
+    "amount": ["$500", "$1,000", "$2,500", "$5,000", "$10,000", "$250"],
+    "profit": ["double", "triple", "10x", "5x"],
+    "days": ["24 hours", "48 hours", "3 days", "one week"],
+    "handle": ["@fastpayout", "@cryptodesk", "@tradeadmin", "@helpdesk_pro"],
+    "celebrity": ["Elon", "MrBeast", "Ronaldo", "Drake", "Oprah"],
+    "brand": ["Apple", "Amazon", "Netflix", "PlayStation", "Gucci"],
+    "city": ["Dubai", "Bali", "Paris", "Miami", "Maldives"],
+    "car": ["BMW X5", "Tesla Model 3", "Mercedes C300", "Range Rover"],
+    "team": ["Lakers", "Chelsea", "Real Madrid", "Yankees", "Arsenal"],
+    "course": ["forex masterclass", "dropshipping bootcamp", "IELTS prep"],
+    "link": [
+        "secure-claim-now.example",
+        "verify-login-center.example",
+        "bonus-drop.example",
+        "fast-giveaway.example",
+    ],
+    "nft": ["Bored Drop", "Pixel Apes", "Meta Punks", "Moon Birds"],
+    "charity": ["flood victims", "sick children", "rescued animals", "orphans"],
+    "emoji": ["!!", "!!!", ".", " >>"],
+    "number": ["100", "500", "1000", "50"],
+}
+
+
+def _fill(template: str, rng: RngTree) -> str:
+    text = template
+    for slot, options in _FILLERS.items():
+        token = "{" + slot + "}"
+        while token in text:
+            text = text.replace(token, rng.choice(options), 1)
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Scam templates, one family per Table-6 subtype
+# ---------------------------------------------------------------------------
+
+SCAM_TEMPLATES: Dict[str, List[str]] = {
+    "Crypto Scams": [
+        "Turn {amount} into {profit} profit in {days} with our managed {coin} "
+        "trading platform, guaranteed returns, message {handle} to start investing now",
+        "I made {amount} this week trading {coin} signals, our mining pool pays "
+        "daily profit, DM {handle} for the investment plan",
+        "Limited slots on the {coin} auto trading bot, {profit} your deposit in "
+        "{days}, guaranteed payout, contact {handle} today",
+        "Stop working hard, our {coin} investment desk turns {amount} into "
+        "{profit} returns every {days}, write {handle} to join",
+    ],
+    "NFT and Giveaway Scams": [
+        "FREE {nft} NFT giveaway{emoji} first {number} wallets get whitelisted, "
+        "mint now at {link} before it sells out",
+        "Huge {nft} airdrop live, claim your free NFT and {amount} in tokens at "
+        "{link}, only {number} spots left",
+        "We are giving away {number} {nft} NFTs to celebrate the launch, connect "
+        "your wallet at {link} to claim",
+    ],
+    "Financial Consulting": [
+        "Certified financial consultant helping you recover losses and grow "
+        "savings, book a free portfolio review, send your details to {handle}",
+        "Private wealth advisor with {number} clients, let me restructure your "
+        "debt and unlock {amount} credit, consultation via {handle}",
+    ],
+    "Emotional Exploitation (Charity)": [
+        "Please help the {charity}, every {amount} donation saves a life, send "
+        "support through {link}, share this post",
+        "Urgent appeal for the {charity}, we are {number} donations away from "
+        "our goal, give now at {link} and keep them safe",
+    ],
+    "Through Popular Content/Challenges/Trends": [
+        "The {brand} challenge is back{emoji} watch the full video and claim "
+        "your reward at {link} before the trend ends",
+        "Everyone is doing the new viral filter, unlock the hidden version at "
+        "{link}, works on every phone",
+        "Leaked clip from the {celebrity} stream is trending, watch it free at "
+        "{link} before it gets taken down",
+    ],
+    "Through Chat Communication": [
+        "Your account will be suspended within {days}, verify your login now in "
+        "a private message, our support team is waiting, or visit {link}",
+        "Security alert: unusual sign-in detected, confirm your password with "
+        "our agent in DM to keep your profile, or restore at {link}",
+    ],
+    "Product Promotion Scams": [
+        "Original {brand} stock clearance, {number} pieces only at {amount}, "
+        "today only, order in DM before the sale closes",
+        "Wholesale {brand} products straight from the factory, pay {amount} and "
+        "get free shipping, limited offer, message to order",
+    ],
+    "Fake Travel Deals": [
+        "All inclusive {city} package for just {amount}, flights and 5 star "
+        "hotel included, only {number} seats, book via {handle}",
+        "Visa on arrival plus round trip to {city} at {amount}, our agency "
+        "handles everything, deposit in DM to reserve",
+    ],
+    "Vehicle Sale/Rental Fraud": [
+        "Clean {car} for sale at {amount}, urgent relocation, first deposit "
+        "takes it, shipping arranged anywhere, contact {handle}",
+        "Rent a {car} from {amount} per day, no deposit needed this week, "
+        "reserve now in DM, documents optional",
+    ],
+    "Sports Betting and Merchandise Scams": [
+        "Fixed odds for tonight's {team} game, {profit} your stake guaranteed, "
+        "join the VIP ticket at {amount}, message {handle}",
+        "Signed {team} jersey giveaway plus sure betting tips daily, pay the "
+        "{amount} membership once, winnings guaranteed",
+    ],
+    "Fake Education-related Offers": [
+        "Enroll in our {course} and earn {amount} monthly from home, "
+        "certificate included, {number} seats left, register at {link}",
+        "Fully funded scholarship plus {course}, no exams needed, processing "
+        "fee {amount}, apply today at {link}",
+    ],
+    "Provocative and Catphishing Lures": [
+        "Feeling lonely tonight{emoji} I share my private pictures with "
+        "subscribers only, DM me or unlock my page at {link}",
+        "I am new in {city} looking for a serious man, message me darling, my "
+        "private profile is at {link}",
+    ],
+    "Public Figures": [
+        "Official {celebrity} fan account, {celebrity} is giving back {amount} "
+        "to {number} lucky followers, send your wallet to enter",
+        "This is {celebrity} speaking to my real fans, I am doubling any "
+        "{coin} you send during the charity stream, details at {link}",
+    ],
+    "Fake Tech Support": [
+        "Your {brand} device has been flagged, call our certified support line "
+        "or grant remote access via {link} to remove the virus",
+        "{brand} help desk here, we noticed a billing error of {amount}, "
+        "confirm your card with our agent in DM to get the refund",
+    ],
+    "Like/Follow/Subscribe Requests": [
+        "Follow this page and like the last {number} posts to win {amount}, "
+        "winners announced every week, tag your friends",
+        "Subscribe, smash the like button and comment done to unlock the "
+        "exclusive content, only the first {number} count",
+        "Like for like, follow for follow, drop your handle below and we "
+        "follow back within {days}",
+    ],
+    "Greetings and Motivational Phrases": [
+        "Good morning family{emoji} stay blessed, stay humble, double tap if "
+        "you are grateful today",
+        "Keep grinding, your breakthrough is loading, type yes if you believe "
+        "and share with someone who needs this",
+        "Happy Sunday to all my followers, like this post and blessings will "
+        "find you this week",
+    ],
+}
+
+#: category -> subtypes, mirroring Table 6's two-level taxonomy.
+SCAM_CATEGORY_TREE: Dict[str, List[str]] = {
+    "Financial Scams": [
+        "Crypto Scams",
+        "NFT and Giveaway Scams",
+        "Financial Consulting",
+        "Emotional Exploitation (Charity)",
+    ],
+    "Phishing": [
+        "Through Popular Content/Challenges/Trends",
+        "Through Chat Communication",
+    ],
+    "Product/Service Fraud": [
+        "Product Promotion Scams",
+        "Fake Travel Deals",
+        "Vehicle Sale/Rental Fraud",
+        "Sports Betting and Merchandise Scams",
+        "Fake Education-related Offers",
+    ],
+    "Adult Content": ["Provocative and Catphishing Lures"],
+    "Impersonation": ["Public Figures", "Fake Tech Support"],
+    "Engagement Bait": [
+        "Like/Follow/Subscribe Requests",
+        "Greetings and Motivational Phrases",
+    ],
+}
+
+SUBTYPE_TO_CATEGORY: Dict[str, str] = {
+    subtype: category
+    for category, subtypes in SCAM_CATEGORY_TREE.items()
+    for subtype in subtypes
+}
+
+# ---------------------------------------------------------------------------
+# The vetting codebook (used by the manual-analysis stand-in)
+# ---------------------------------------------------------------------------
+
+#: subtype -> indicator keywords.  A cluster whose keyword profile hits one
+#: of these entries is labeled scam with that subtype — the programmatic
+#: version of the authors' manual 25-post-per-cluster review.
+VETTING_CODEBOOK: Dict[str, List[str]] = {
+    "Crypto Scams": ["trading", "invest", "profit", "guaranteed", "mining", "deposit", "bitcoin", "coin", "payout", "returns"],
+    "NFT and Giveaway Scams": ["nft", "nfts", "airdrop", "mint", "whitelist", "wallet", "giveaway"],
+    "Financial Consulting": ["consultant", "advisor", "portfolio", "wealth", "debt", "consultation"],
+    "Emotional Exploitation (Charity)": ["donation", "donate", "charity", "appeal", "victims", "orphans", "saves"],
+    "Through Popular Content/Challenges/Trends": ["challenge", "viral", "trending", "leaked", "filter", "claim"],
+    "Through Chat Communication": ["verify", "suspended", "password", "login", "security", "sign"],
+    "Product Promotion Scams": ["clearance", "wholesale", "stock", "shipping", "order", "factory"],
+    "Fake Travel Deals": ["flights", "hotel", "package", "visa", "trip", "seats", "inclusive"],
+    "Vehicle Sale/Rental Fraud": ["rent", "car", "vehicle", "deposit", "relocation", "documents"],
+    "Sports Betting and Merchandise Scams": ["odds", "betting", "stake", "jersey", "vip", "fixed"],
+    "Fake Education-related Offers": ["enroll", "scholarship", "certificate", "course", "register", "exams"],
+    "Provocative and Catphishing Lures": ["lonely", "private", "darling", "subscribers", "pictures"],
+    "Public Figures": ["official", "fan", "fans", "doubling", "lucky", "giving"],
+    "Fake Tech Support": ["support", "device", "virus", "remote", "billing", "refund", "desk"],
+    "Like/Follow/Subscribe Requests": ["follow", "subscribe", "like", "tag", "smash", "comment"],
+    "Greetings and Motivational Phrases": ["blessed", "blessings", "grateful", "grinding", "breakthrough", "morning", "humble", "sunday"],
+}
+
+ALL_SUBTYPES: Tuple[str, ...] = tuple(SCAM_TEMPLATES)
+
+
+def scam_post_text(subtype: str, rng: RngTree) -> str:
+    """Generate one scam post of the given subtype."""
+    templates = SCAM_TEMPLATES.get(subtype)
+    if not templates:
+        raise KeyError(f"unknown scam subtype: {subtype}")
+    return _fill(rng.choice(templates), rng)
+
+
+_HASHTAG_SUFFIXES = ("life", "daily", "community", "lover", "gram", "world")
+
+
+def benign_post_text(rng: RngTree) -> str:
+    """Generate one benign English post.
+
+    Real posts carry topic hashtag soups ("#fitness #fitnesslife
+    #fitnessdaily"); these make the *topic* the dominant lexical signal,
+    so the benign corpus clusters into many topic families — the large
+    population of non-scam clusters in the paper's 86-cluster layer.
+    """
+    template = rng.choice(BENIGN_POST_TEMPLATES)
+    topic = rng.choice(TOPIC_WORDS)
+    text = template.format(topic=topic)
+    n_tags = rng.randint(2, 4)
+    suffixes = rng.sample(list(_HASHTAG_SUFFIXES), n_tags)
+    tags = [f"#{topic}"] + [f"#{topic}{suffix}" for suffix in suffixes]
+    return f"{text} {' '.join(tags)}"
+
+
+__all__ = [
+    "ALL_SUBTYPES",
+    "SCAM_CATEGORY_TREE",
+    "SCAM_TEMPLATES",
+    "SUBTYPE_TO_CATEGORY",
+    "VETTING_CODEBOOK",
+    "benign_post_text",
+    "scam_post_text",
+]

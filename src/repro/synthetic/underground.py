@@ -1,0 +1,273 @@
+"""Underground-forum posting generation (Section 4.2).
+
+The six active Tor markets and their 65 postings are generated at paper
+scale regardless of world scale — the underground dataset was collected
+manually and is tiny.  The generator reproduces the structural findings:
+
+* per-market posting volumes and platform specialities (Nexus largest,
+  We The North TikTok-only, Kerberos bulk TikTok/X);
+* post bodies of 14–123 words with contact handles and delivery blurbs;
+* text-reuse groups: 12 of ~42 TikTok posts near-identical (88–100 %
+  similarity) traced to 3 authors, smaller reuse on Instagram/X/YouTube;
+* two seller usernames active on more than one market.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.synthetic import calibration as cal
+from repro.synthetic.model import Platform, UndergroundPosting
+from repro.synthetic.names import NameForge
+from repro.util.money import Money
+from repro.util.rng import RngTree
+from repro.util.simtime import SimDate
+
+#: Per-market platform split, chosen to satisfy Section 4.2's narrative
+#: (sums to the 65 postings; TikTok ≈ 42, Instagram 13, X ≈ 3, YouTube ≈ 7).
+MARKET_PLATFORM_SPLIT: Dict[str, Dict[str, int]] = {
+    "Nexus": {"TikTok": 23, "Instagram": 12, "X": 2},
+    "We The North": {"TikTok": 15},
+    "Dark Matter": {"YouTube": 2, "TikTok": 2, "X": 1},
+    "Torzon Market": {"Instagram": 1, "TikTok": 1, "YouTube": 2},
+    "Kerberos": {"TikTok": 1, "X": 1},
+    "Black Pyramid": {"YouTube": 2},
+}
+
+#: Sentence pools the generic (non-reused) bodies are composed from.
+#: Sampling 3–6 sentences out of many keeps ordinary postings well below
+#: the 88 % similarity threshold, so only the deliberate reuse groups
+#: trip the Section-4.2 analysis.
+_OPENERS = [
+    "Selling {quality} {platform} account{plural} with {followers} followers.",
+    "{platform} account{plural} up for grabs, {followers} followers, {aging}.",
+    "Fresh stock of {platform} profiles, {followers} followers each.",
+    "Offloading my {quality} {platform} page{plural}, audience of {followers}.",
+    "Premium {platform} handle{plural} available now, {followers} strong.",
+    "Listing one {quality} {platform} profile, around {followers} followers.",
+]
+_MIDDLES = [
+    "The audience is {content} and engagement has stayed steady for months.",
+    "Everything was {aging} and warmed up slowly to avoid flags.",
+    "Comes {content}, analytics screenshots on request before any deal.",
+    "Login works from clean sessions, recovery details included in the handover.",
+    "The niche converts well for promos, previous campaigns available as proof.",
+    "Region mix is mostly western traffic, useful for affiliate work.",
+    "No strikes, no restrictions, the profile has never been reported.",
+    "You get the original mail plus cookies for a painless takeover.",
+]
+_CLOSERS = [
+    "Payment in BTC or XMR only, deal goes through {telegram}.",
+    "Contact {telegram} for escrow details, delivery within a day of payment.",
+    "Bulk discount for ten or more, message {telegram} to reserve yours.",
+    "Bump this thread for updates, testimonials from past buyers below.",
+    "No refunds once credentials are delivered, not liable for lost logins.",
+    "Guarantee covers the first login only, act fast before the price goes up.",
+]
+
+_QUALITY = ["aged", "organic", "high quality", "PVA verified", "hand registered"]
+_AGING = ["registered in 2019", "over two years old", "aged accounts", "fresh 2024 registrations"]
+_CONTENT = ["empty and ready to brand", "populated with niche content", "posted on weekly"]
+_FOLLOWERS = ["1k", "5k", "10k", "25k", "50k", "100k"]
+
+
+def _perturb(rng: RngTree, body: str, similarity: float) -> str:
+    """Produce a variant of ``body`` with roughly the target similarity."""
+    tokens = body.split()
+    n = len(tokens)
+    changes = max(0, round(n * (1.0 - similarity)))
+    for _ in range(changes):
+        index = rng.randint(0, n - 1)
+        tokens[index] = rng.choice(["fast", "cheap", "trusted", "instant", "secure"])
+    return " ".join(tokens)
+
+
+class UndergroundGenerator:
+    """Builds the 65 underground postings with their reuse structure."""
+
+    def __init__(self, rng: RngTree, forge: NameForge) -> None:
+        self._rng = rng
+        self._forge = forge
+        self._counter = 0
+
+    def _next_id(self, market: str) -> str:
+        self._counter += 1
+        slug = market.lower().replace(" ", "-")
+        return f"ug-{slug}-{self._counter:03d}"
+
+    def _author_pool(self) -> Dict[str, List[str]]:
+        """Per-market author names honouring Section 4.2 seller counts,
+        with two usernames shared across markets."""
+        rng = self._rng
+        pool: Dict[str, List[str]] = {}
+        used: set = set()
+        for market, (_posts, sellers, _platforms) in cal.UNDERGROUND_MARKETS.items():
+            names: List[str] = []
+            while len(names) < sellers:
+                name = (
+                    f"{rng.choice(['dark', 'ghost', 'shadow', 'zero', 'night'])}"
+                    f"{rng.choice(['vendor', 'dealer', 'plug', 'shop', 'trader'])}"
+                    f"{rng.randint(10, 99)}"
+                )
+                # Accidental cross-market collisions would inflate the
+                # Section-4.2 cross-market seller count past the two we
+                # install deliberately below.
+                if name not in used:
+                    used.add(name)
+                    names.append(name)
+            pool[market] = names
+        # Cross-market identities: reuse a Nexus author on Torzon and a
+        # Kerberos author on Dark Matter (Section 4.2 found two).
+        if pool.get("Nexus") and pool.get("Torzon Market"):
+            pool["Torzon Market"][0] = pool["Nexus"][0]
+        if pool.get("Kerberos") and pool.get("Dark Matter"):
+            pool["Dark Matter"][0] = pool["Kerberos"][0]
+        return pool
+
+    def _body(self, platform: Platform, quantity: int) -> str:
+        rng = self._rng
+        sentences = [rng.choice(_OPENERS)]
+        sentences.extend(rng.sample(_MIDDLES, rng.randint(1, 4)))
+        sentences.append(rng.choice(_CLOSERS))
+        return " ".join(sentences).format(
+            quality=rng.choice(_QUALITY),
+            platform=platform.value,
+            plural="s" if quantity > 1 else "",
+            followers=rng.choice(_FOLLOWERS),
+            aging=rng.choice(_AGING),
+            content=rng.choice(_CONTENT),
+            telegram=self._forge.telegram(),
+        )
+
+    def build(self) -> List[UndergroundPosting]:
+        rng = self._rng
+        authors = self._author_pool()
+        self._shared_identity = authors["Nexus"][0] if authors.get("Nexus") else None
+        postings: List[UndergroundPosting] = []
+        for market, split in MARKET_PLATFORM_SPLIT.items():
+            market_authors = authors[market]
+            for platform_name, count in split.items():
+                platform = Platform.from_name(platform_name)
+                for _ in range(count):
+                    author = rng.choice(market_authors)
+                    quantity = 1
+                    if market == "Kerberos":
+                        # Two Kerberos posts advertise 51 accounts in bulk.
+                        quantity = cal.KERBEROS_BULK_ACCOUNTS // 2
+                    price = (
+                        Money.dollars(round(rng.lognormal(60, 0.8)))
+                        if rng.bernoulli(0.7)
+                        else None
+                    )
+                    date = (
+                        SimDate.of(2024, rng.randint(2, 6), rng.randint(1, 28))
+                        if rng.bernoulli(0.8)  # some forums omit dates (§3.2)
+                        else None
+                    )
+                    postings.append(
+                        UndergroundPosting(
+                            posting_id=self._next_id(market),
+                            market=market,
+                            author=author,
+                            title=f"[{platform.value}] accounts for sale - {rng.choice(_QUALITY)}",
+                            body=self._body(platform, quantity),
+                            platform=platform,
+                            date=date,
+                            price=price,
+                            quantity=quantity,
+                            replies=rng.randint(0, 14),
+                        )
+                    )
+        self._install_reuse_groups(postings)
+        self._install_second_cross_identity(postings, authors)
+        return postings
+
+    def _install_second_cross_identity(
+        self, postings: List[UndergroundPosting], authors: Dict[str, List[str]]
+    ) -> None:
+        """Guarantee the second cross-market username (Kerberos <-> Dark
+        Matter); pool sharing alone does not ensure both markets actually
+        post under it."""
+        kerberos = authors.get("Kerberos")
+        if not kerberos:
+            return
+        shared = kerberos[0]
+        for market in ("Kerberos", "Dark Matter"):
+            market_posts = [p for p in postings if p.market == market]
+            if market_posts and all(p.author != shared for p in market_posts):
+                market_posts[0].author = shared
+
+    # -- text reuse -----------------------------------------------------------
+
+    def _install_reuse_groups(self, postings: List[UndergroundPosting]) -> None:
+        """Overwrite selected bodies with near-duplicates (Section 4.2)."""
+        rng = self._rng
+
+        def by(platform: Platform, market: Optional[str] = None) -> List[UndergroundPosting]:
+            return [
+                p for p in postings
+                if p.platform is platform and (market is None or p.market == market)
+                and p.reuse_group is None
+            ]
+
+        # TikTok on Nexus: a same-author identical pair (100%), a 7-post
+        # 3-seller group (~98%), and a cross-market 3-post group — 12 posts
+        # from 3 distinct base authors.
+        nexus_tt = by(Platform.TIKTOK, "Nexus")
+        self._make_group("tt-identical-pair", nexus_tt[:2], similarity=1.0, same_author=True)
+        self._make_group("tt-seven-post", by(Platform.TIKTOK, "Nexus")[:7], similarity=0.98,
+                         author_count=3)
+        # Cross-market group: keep per-market authors, but post the Nexus
+        # and Torzon copies under the shared identity (the username that
+        # exists in both markets' seller pools) — Section 4.2's "two posts
+        # by the same seller on separate platforms".
+        cross = by(Platform.TIKTOK, "Nexus")[:1] + by(Platform.TIKTOK, "We The North")[:1] \
+            + by(Platform.TIKTOK, "Torzon Market")[:1]
+        self._make_group("tt-cross-market", cross, similarity=0.95)
+        if self._shared_identity is not None:
+            for posting in cross:
+                if posting.market in ("Nexus", "Torzon Market"):
+                    posting.author = self._shared_identity
+        # Instagram 2-post group, X pairs with a TikTok body, YouTube 3-post.
+        self._make_group("ig-pair", by(Platform.INSTAGRAM, "Nexus")[:2], similarity=0.92)
+        self._make_group("yt-trio", by(Platform.YOUTUBE)[:3], similarity=0.90)
+        x_posts = by(Platform.X)[:1]
+        if x_posts and postings:
+            donor = next(p for p in postings if p.reuse_group == "tt-cross-market")
+            x_posts[0].body = _perturb(rng, donor.body, 0.93)
+            x_posts[0].reuse_group = "tt-cross-market"
+
+    def _make_group(
+        self,
+        group_id: str,
+        members: List[UndergroundPosting],
+        similarity: float,
+        same_author: bool = False,
+        author_count: Optional[int] = None,
+    ) -> None:
+        if len(members) < 2:
+            return
+        rng = self._rng
+        base_body = members[0].body
+        base_author = members[0].author
+        authors = [p.author for p in members]
+        if same_author:
+            authors = [base_author] * len(members)
+        elif author_count is not None:
+            distinct = list(dict.fromkeys(authors))[:author_count]
+            while len(distinct) < author_count:
+                distinct.append(base_author)
+            authors = [distinct[i % author_count] for i in range(len(members))]
+        for posting, author in zip(members, authors):
+            posting.author = author
+            posting.reuse_group = group_id
+            if posting is members[0]:
+                continue
+            if similarity >= 1.0:
+                posting.body = base_body  # verbatim repost (the 100% case)
+            else:
+                sim = rng.uniform(max(0.88, similarity - 0.04), similarity)
+                posting.body = _perturb(rng, base_body, sim)
+
+
+__all__ = ["MARKET_PLATFORM_SPLIT", "UndergroundGenerator"]

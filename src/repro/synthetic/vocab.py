@@ -1,0 +1,134 @@
+"""Vocabulary pools for the generators: names, handles, topics, fillers.
+
+These lists only need to be large enough that combinatorial generation
+(first+last, adjective+noun+digits) produces tens of thousands of distinct
+identifiers without collisions dominating.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+FIRST_NAMES: List[str] = [
+    "Alex", "Maria", "John", "Fatima", "Wei", "Aisha", "Carlos", "Yuki",
+    "Omar", "Elena", "David", "Priya", "Mohammed", "Sofia", "James", "Chen",
+    "Layla", "Daniel", "Amara", "Lucas", "Zara", "Noah", "Ines", "Ethan",
+    "Nadia", "Liam", "Hana", "Mason", "Leila", "Oliver", "Mina", "Jacob",
+    "Sara", "Aiden", "Rosa", "Gabriel", "Tara", "Samuel", "Nina", "Adam",
+    "Iris", "Victor", "Dina", "Felix", "Alma", "Hugo", "Vera", "Ivan",
+    "Ana", "Marco", "Lena", "Pavel", "Rita", "Diego", "Emma", "Tariq",
+    "Julia", "Kofi", "Asha", "Ravi", "Mei", "Jonas", "Aline", "Kemal",
+]
+
+LAST_NAMES: List[str] = [
+    "Smith", "Garcia", "Khan", "Chen", "Mueller", "Okafor", "Tanaka",
+    "Silva", "Ivanov", "Hassan", "Johnson", "Lopez", "Ahmed", "Wang",
+    "Schmidt", "Adeyemi", "Sato", "Santos", "Petrov", "Ali", "Brown",
+    "Martinez", "Hussain", "Liu", "Weber", "Eze", "Suzuki", "Costa",
+    "Smirnov", "Omar", "Davis", "Rodriguez", "Malik", "Zhang", "Fischer",
+    "Nwosu", "Ito", "Oliveira", "Popov", "Farah", "Wilson", "Hernandez",
+    "Sheikh", "Huang", "Wagner", "Obi", "Yamamoto", "Pereira", "Volkov",
+    "Yusuf", "Taylor", "Gonzalez", "Qureshi", "Zhao", "Becker", "Okeke",
+]
+
+HANDLE_ADJECTIVES: List[str] = [
+    "viral", "golden", "epic", "prime", "elite", "mega", "ultra", "alpha",
+    "turbo", "cosmic", "lucky", "swift", "brave", "silent", "neon",
+    "crystal", "shadow", "royal", "hyper", "mystic", "blazing", "frozen",
+    "wild", "noble", "rapid", "supreme", "stellar", "atomic", "vivid",
+    "boosted", "trending", "famous", "daily", "official", "real", "true",
+]
+
+HANDLE_NOUNS: List[str] = [
+    "memes", "vibes", "clips", "trends", "deals", "gains", "facts",
+    "stories", "moments", "plays", "shots", "looks", "styles", "tips",
+    "hacks", "goals", "dreams", "waves", "sparks", "pixels", "frames",
+    "reels", "streams", "tracks", "beats", "quotes", "crypto", "nft",
+    "luxury", "beauty", "animals", "travel", "fitness", "gaming", "foodie",
+    "fashion", "motors", "sneakers", "empire", "nation", "hub", "world",
+    "daily", "central", "zone", "spot", "lab", "studio", "club", "squad",
+]
+
+TOPIC_WORDS: List[str] = [
+    "crypto", "bitcoin", "nft", "meme", "humor", "luxury", "motivation",
+    "fashion", "style", "game", "gaming", "review", "howto", "travel",
+    "food", "recipe", "fitness", "gym", "beauty", "makeup", "pets",
+    "animals", "cars", "motors", "tech", "gadgets", "music", "dance",
+    "art", "design", "photo", "nature", "sports", "football", "basket",
+    "anime", "movies", "series", "books", "quotes", "business", "finance",
+    "stocks", "realestate", "diy", "crafts", "garden", "parenting",
+    "health", "yoga", "mindset", "comedy", "pranks", "magic", "science",
+    "history", "space", "astro", "ocean", "hiking", "camping", "fishing",
+]
+
+FILLER_WORDS: List[str] = [
+    "the", "a", "and", "of", "for", "with", "this", "that", "your", "our",
+    "new", "best", "great", "amazing", "daily", "top", "real", "original",
+    "content", "page", "channel", "account", "profile", "community",
+    "followers", "audience", "niche", "brand", "growth", "active",
+    "engagement", "organic", "quality", "premium", "exclusive", "trusted",
+]
+
+BENIGN_POST_TEMPLATES: List[str] = [
+    "Just posted a new {topic} video, check it out and tell me what you think",
+    "Today's {topic} inspiration: keep pushing and stay consistent",
+    "Behind the scenes of our latest {topic} shoot, more coming this week",
+    "Which {topic} trend should we cover next? Drop your ideas below",
+    "Throwback to our favorite {topic} moment from last month",
+    "New week, new {topic} goals. Who is with me?",
+    "Our {topic} community just keeps growing, thank you all for the support",
+    "Quick {topic} tip of the day: small steps add up over time",
+    "We tried the viral {topic} recipe so you do not have to",
+    "Sunday {topic} roundup: the five posts you might have missed",
+    "Can not believe how far this {topic} page has come, grateful for every one of you",
+    "Here is a closer look at the {topic} setup everyone keeps asking about",
+]
+
+NON_ENGLISH_POSTS: List[str] = [
+    # Spanish
+    "Hola a todos, gracias por el apoyo en esta cuenta, pronto mas contenido nuevo",
+    "Nueva publicacion cada semana, siguenos para mas videos y fotos del equipo",
+    "El mejor contenido de humor en espanol, comparte con tus amigos",
+    # German
+    "Vielen Dank an alle Follower, bald kommen neue Videos und mehr Inhalte",
+    "Jede Woche neue Beitraege rund um Mode und Stil, bleibt dran",
+    "Das beste aus der Welt der Technik, jeden Tag neue Tipps",
+    # French
+    "Merci a tous pour votre soutien, de nouvelles videos arrivent bientot",
+    "Chaque semaine du nouveau contenu sur la mode et le style de vie",
+    "Le meilleur de l'humour francais, abonnez vous pour ne rien rater",
+    # Portuguese
+    "Obrigado a todos pelo apoio, novos videos chegando em breve no canal",
+    "Toda semana conteudo novo sobre moda e estilo, fiquem ligados",
+    # Italian
+    "Grazie a tutti per il supporto, presto nuovi contenuti sul canale",
+    "Ogni settimana nuovi video di cucina e ricette della tradizione",
+    # Turkish
+    "Herkese destek icin tesekkurler, yakinda yeni videolar geliyor",
+    "Her hafta yeni icerik, takipte kalin ve arkadaslarinizla paylasin",
+]
+
+CITY_WORDS: List[str] = [
+    "Lagos", "Karachi", "Istanbul", "Miami", "Austin", "Delhi", "Manila",
+    "Nairobi", "Jakarta", "Seoul", "Dhaka", "Cairo", "London", "Toronto",
+    "Dubai", "Mumbai", "Lima", "Bogota", "Accra", "Hanoi",
+]
+
+SELLER_STORE_WORDS: List[str] = [
+    "Store", "Shop", "Hub", "Market", "Traders", "Supply", "Exchange",
+    "Dealz", "Accounts", "Media", "Digital", "Socials", "Boost", "Agency",
+]
+
+
+__all__ = [
+    "BENIGN_POST_TEMPLATES",
+    "CITY_WORDS",
+    "FILLER_WORDS",
+    "FIRST_NAMES",
+    "HANDLE_ADJECTIVES",
+    "HANDLE_NOUNS",
+    "LAST_NAMES",
+    "NON_ENGLISH_POSTS",
+    "SELLER_STORE_WORDS",
+    "TOPIC_WORDS",
+]

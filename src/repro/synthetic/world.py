@@ -1,0 +1,195 @@
+"""The world builder: one seed in, a complete calibrated ecosystem out.
+
+Build order matters and mirrors the real world's causality:
+
+1. sellers register on marketplaces;
+2. social media accounts exist (with posts, clusters, scam roles);
+3. sellers create listings, a third of which link visible accounts;
+4. platforms moderate (ban) some accounts during the study window;
+5. underground forums carry their own small posting population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.synthetic import calibration as cal
+from repro.synthetic.accounts import AccountFactory
+from repro.synthetic.listings import ListingFactory
+from repro.synthetic.model import Listing, Platform, Seller, SocialAccount, World
+from repro.synthetic.moderation import apply_moderation
+from repro.synthetic.names import NameForge
+from repro.synthetic.posts import PostFactory
+from repro.synthetic.sellers import SellerFactory
+from repro.synthetic.underground import UndergroundGenerator
+from repro.util.rng import RngTree
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Knobs for world generation.
+
+    ``scale`` multiplies every paper-level count: 1.0 regenerates the full
+    38K-listing / 205K-post ecosystem; tests use 0.02–0.05.
+    """
+
+    seed: int = 2024
+    scale: float = 0.1
+    iterations: int = cal.COLLECTION_ITERATIONS
+    #: Generate the underground forums (always at paper scale).
+    include_underground: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+
+class WorldBuilder:
+    """Deterministically builds a :class:`~repro.synthetic.model.World`."""
+
+    def __init__(self, config: Optional[WorldConfig] = None) -> None:
+        self.config = config or WorldConfig()
+        self._rng = RngTree(self.config.seed)
+
+    def build(self) -> World:
+        config = self.config
+        world = World(seed=config.seed, scale=config.scale, iterations=config.iterations)
+        forge = NameForge(self._rng.child("names"))
+        self._build_sellers(world, forge)
+        accounts_by_platform = self._build_accounts(world, forge)
+        self._build_posts(world, accounts_by_platform)
+        self._build_listings(world, accounts_by_platform)
+        self._moderate(world, accounts_by_platform)
+        if config.include_underground:
+            world.underground_postings = UndergroundGenerator(
+                self._rng.child("underground"), forge
+            ).build()
+        return world
+
+    # -- stage 1: sellers -----------------------------------------------------
+
+    def _build_sellers(self, world: World, forge: NameForge) -> None:
+        factory = SellerFactory(self._rng.child("sellers"), forge)
+        self._sellers_by_market: Dict[str, List[Seller]] = {}
+        for marketplace, (sellers, _listings) in cal.MARKETPLACE_TABLE1.items():
+            if marketplace in cal.SELLER_HIDDEN_MARKETS:
+                self._sellers_by_market[marketplace] = []
+                continue
+            count = cal.scaled(sellers, self.config.scale, minimum=2)
+            market_sellers = factory.build_market_sellers(marketplace, count)
+            self._sellers_by_market[marketplace] = market_sellers
+            for seller in market_sellers:
+                world.sellers[seller.seller_id] = seller
+        self._seller_factory = factory
+
+    # -- stage 2: accounts ------------------------------------------------------
+
+    def _build_accounts(self, world: World, forge: NameForge) -> Dict[Platform, List[SocialAccount]]:
+        factory = AccountFactory(self._rng.child("accounts"), forge)
+        by_platform: Dict[Platform, List[SocialAccount]] = {}
+        for platform_name, (visible, _posts, _all) in cal.PLATFORM_TABLE2.items():
+            platform = Platform.from_name(platform_name)
+            count = cal.scaled(visible, self.config.scale, minimum=8)
+            population = factory.build_platform_population(platform, count)
+            by_platform[platform] = population
+            for account in population:
+                world.accounts[account.account_id] = account
+            # Scam roles (Table 5) before posts are generated.
+            scam_accounts, _scam_posts = cal.SCAM_TABLE5[platform_name]
+            factory.assign_scam_roles(
+                population, cal.scaled(scam_accounts, self.config.scale, minimum=3)
+            )
+            # Network clusters (Table 7).
+            _attr, clusters, clustered, max_size, _median = cal.NETWORK_TABLE7[platform_name]
+            factory.build_clusters(
+                platform,
+                population,
+                cal.scaled(clusters, self.config.scale, minimum=1),
+                cal.scaled(clustered, self.config.scale, minimum=2),
+                max_size,
+            )
+        return by_platform
+
+    # -- stage 3: posts -----------------------------------------------------------
+
+    def _build_posts(self, world: World, by_platform: Dict[Platform, List[SocialAccount]]) -> None:
+        factory = PostFactory(self._rng.child("posts"))
+        for platform_name, (_visible, posts, _all) in cal.PLATFORM_TABLE2.items():
+            platform = Platform.from_name(platform_name)
+            _scam_accounts, scam_posts = cal.SCAM_TABLE5[platform_name]
+            factory.populate_platform(
+                platform,
+                by_platform[platform],
+                total_posts=cal.scaled(posts, self.config.scale, minimum=20),
+                scam_posts=cal.scaled(scam_posts, self.config.scale, minimum=5),
+            )
+
+    # -- stage 4: listings ----------------------------------------------------------
+
+    def _build_listings(self, world: World, by_platform: Dict[Platform, List[SocialAccount]]) -> None:
+        rng = self._rng.child("listing-plan")
+        factory = ListingFactory(
+            self._rng.child("listings"), self.config.scale, self.config.iterations
+        )
+        # Marketplace quotas (Table 1, scaled).
+        quotas = {
+            market: cal.scaled(listings, self.config.scale, minimum=3)
+            for market, (_s, listings) in cal.MARKETPLACE_TABLE1.items()
+        }
+        total = sum(quotas.values())
+        # Platform slots (Table 2 "All Accounts" column, scaled to match).
+        platform_names = list(cal.PLATFORM_TABLE2)
+        platform_weights = [float(cal.PLATFORM_TABLE2[p][2]) for p in platform_names]
+        slot_counts = rng.partition_count(total, platform_weights)
+        slots: List[Platform] = []
+        for name, count in zip(platform_names, slot_counts):
+            slots.extend([Platform.from_name(name)] * count)
+        rng.shuffle(slots)
+        # Plan which slots link a visible account (Table 2: every generated
+        # account is linked from exactly one listing) and which YouTube
+        # slots carry the verified claim — chosen uniformly over positions
+        # so no marketplace is systematically favoured.
+        linked_account: List[Optional[SocialAccount]] = [None] * total
+        verified_slot = [False] * total
+        verified_budget = cal.scaled(cal.VERIFIED_LISTINGS, self.config.scale, minimum=2)
+        for platform, accounts in by_platform.items():
+            positions = [i for i, p in enumerate(slots) if p is platform]
+            rng.shuffle(positions)
+            pool = rng.shuffled(accounts)
+            for position, account in zip(positions, pool):
+                linked_account[position] = account
+            if platform is Platform.YOUTUBE:
+                unlinked = positions[len(pool):]
+                for position in unlinked[:verified_budget]:
+                    verified_slot[position] = True
+        cursor = 0
+        for marketplace, quota in quotas.items():
+            sellers = self._sellers_by_market[marketplace]
+            seller_ids = self._seller_factory.assign_listings(sellers, quota)
+            for i in range(quota):
+                platform = slots[cursor]
+                listing = factory.build_listing(
+                    marketplace,
+                    platform,
+                    seller_ids[i] if seller_ids else None,
+                    linked_account[cursor],
+                    verified_slot[cursor],
+                )
+                cursor += 1
+                world.listings[listing.listing_id] = listing
+        listings = list(world.listings.values())
+        factory.inject_high_prices(listings)
+        factory.inject_fig3_outlier(listings)
+
+    # -- stage 5: moderation ---------------------------------------------------------
+
+    def _moderate(self, world: World, by_platform: Dict[Platform, List[SocialAccount]]) -> None:
+        rng = self._rng.child("moderation")
+        for platform, accounts in by_platform.items():
+            apply_moderation(rng.child(platform.value), platform, accounts)
+
+
+__all__ = ["WorldBuilder", "WorldConfig"]

@@ -1,0 +1,25 @@
+"""Shared utilities: seeded randomness, simulated time, stats, text, money.
+
+Everything in :mod:`repro` that needs randomness draws it from an
+:class:`~repro.util.rng.RngTree` so that an entire ecosystem, crawl, and
+analysis run is reproducible from a single root seed.
+"""
+
+from repro.util.money import Money, format_usd
+from repro.util.rng import RngTree
+from repro.util.simtime import CollectionCalendar, SimClock, SimDate
+from repro.util.stats import Summary, cdf_points, median, percentile, summarize
+
+__all__ = [
+    "CollectionCalendar",
+    "Money",
+    "RngTree",
+    "SimClock",
+    "SimDate",
+    "Summary",
+    "cdf_points",
+    "format_usd",
+    "median",
+    "percentile",
+    "summarize",
+]

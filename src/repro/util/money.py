@@ -1,0 +1,63 @@
+"""Money handling for listing prices.
+
+Marketplace prices are advertised in whole US dollars (the paper reports
+medians like $157 and totals like $64,228,836).  We store integer cents to
+avoid float drift when summing tens of thousands of listings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, order=True)
+class Money:
+    """An immutable USD amount stored as integer cents."""
+
+    cents: int
+
+    @classmethod
+    def dollars(cls, amount: float) -> "Money":
+        return cls(round(amount * 100))
+
+    @property
+    def as_dollars(self) -> float:
+        return self.cents / 100.0
+
+    def __add__(self, other: "Money") -> "Money":
+        return Money(self.cents + other.cents)
+
+    def __sub__(self, other: "Money") -> "Money":
+        return Money(self.cents - other.cents)
+
+    def __mul__(self, factor: int) -> "Money":
+        if not isinstance(factor, int):
+            raise TypeError("Money can only be multiplied by an integer")
+        return Money(self.cents * factor)
+
+    def __str__(self) -> str:
+        return format_usd(self.as_dollars)
+
+
+def format_usd(amount: float) -> str:
+    """Format a dollar amount the way the paper prints it.
+
+    >>> format_usd(64228836)
+    '$64,228,836'
+    >>> format_usd(157.5)
+    '$157.50'
+    """
+    if amount == int(amount):
+        return f"${int(amount):,}"
+    return f"${amount:,.2f}"
+
+
+def sum_money(amounts: Iterable[Money]) -> Money:
+    total = 0
+    for m in amounts:
+        total += m.cents
+    return Money(total)
+
+
+__all__ = ["Money", "format_usd", "sum_money"]

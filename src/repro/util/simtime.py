@@ -1,0 +1,140 @@
+"""Simulated time: dates, a monotonic clock, and the collection calendar.
+
+The paper's crawl ran from February to June 2024 in repeated iterations
+(Figure 2 plots cumulative vs. active listings per iteration).  We model
+that window as a :class:`CollectionCalendar` of evenly spaced snapshot
+dates, and give the crawler a :class:`SimClock` so politeness delays and
+rate limits are deterministic and free of wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True, order=True)
+class SimDate:
+    """A calendar date in the simulated world (thin wrapper over ``date``)."""
+
+    year: int
+    month: int
+    day: int
+
+    @classmethod
+    def of(cls, year: int, month: int, day: int) -> "SimDate":
+        _dt.date(year, month, day)  # validate
+        return cls(year, month, day)
+
+    @classmethod
+    def from_date(cls, d: _dt.date) -> "SimDate":
+        return cls(d.year, d.month, d.day)
+
+    def to_date(self) -> _dt.date:
+        return _dt.date(self.year, self.month, self.day)
+
+    def ordinal(self) -> int:
+        return self.to_date().toordinal()
+
+    def plus_days(self, days: int) -> "SimDate":
+        return SimDate.from_date(self.to_date() + _dt.timedelta(days=days))
+
+    def days_until(self, other: "SimDate") -> int:
+        return other.ordinal() - self.ordinal()
+
+    def isoformat(self) -> str:
+        return self.to_date().isoformat()
+
+    @classmethod
+    def parse(cls, text: str) -> "SimDate":
+        return cls.from_date(_dt.date.fromisoformat(text))
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.isoformat()
+
+
+#: The paper's data-collection window (Section 1: "From February to June 2024").
+STUDY_START = SimDate.of(2024, 2, 1)
+STUDY_END = SimDate.of(2024, 6, 30)
+
+
+class SimClock:
+    """A monotonic simulated clock measured in seconds.
+
+    The web client charges politeness delays and the rate limiters meter
+    request budgets against this clock, so crawls are deterministic and
+    run at CPU speed rather than wall-clock speed.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+
+class CollectionCalendar:
+    """Evenly spaced collection iterations across the study window.
+
+    >>> cal = CollectionCalendar.paper_window(iterations=10)
+    >>> len(cal)
+    10
+    >>> cal.dates[0]
+    SimDate(year=2024, month=2, day=1)
+    """
+
+    def __init__(self, dates: List[SimDate]) -> None:
+        if not dates:
+            raise ValueError("a calendar needs at least one iteration date")
+        if sorted(dates) != dates:
+            raise ValueError("iteration dates must be sorted ascending")
+        self.dates = list(dates)
+
+    @classmethod
+    def paper_window(cls, iterations: int = 10) -> "CollectionCalendar":
+        """Build the Feb–Jun 2024 calendar with ``iterations`` snapshots."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if iterations == 1:
+            return cls([STUDY_START])
+        span = STUDY_START.days_until(STUDY_END)
+        step = span / (iterations - 1)
+        dates = [STUDY_START.plus_days(round(i * step)) for i in range(iterations)]
+        return cls(dates)
+
+    def __len__(self) -> int:
+        return len(self.dates)
+
+    def __iter__(self) -> Iterator[SimDate]:
+        return iter(self.dates)
+
+    def __getitem__(self, index: int) -> SimDate:
+        return self.dates[index]
+
+    def index_on_or_before(self, date: SimDate) -> int:
+        """Return the index of the last iteration at or before ``date``."""
+        best = -1
+        for i, d in enumerate(self.dates):
+            if d <= date:
+                best = i
+        if best < 0:
+            raise ValueError(f"{date} precedes the first iteration")
+        return best
+
+
+__all__ = [
+    "STUDY_END",
+    "STUDY_START",
+    "CollectionCalendar",
+    "SimClock",
+    "SimDate",
+]

@@ -1,0 +1,206 @@
+"""The HTTP client the crawler uses.
+
+Implements what the paper's Selenium/CDP stack provided at the transport
+level: sessions (cookies), redirects, retry with exponential backoff on
+retryable statuses, per-host politeness delays, and robots.txt compliance.
+All timing is charged to the simulated clock, so crawls are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.web import http
+from repro.web.http import (
+    Request,
+    RequestRejected,
+    Response,
+    TooManyRedirects,
+)
+from repro.web.robots import RobotsPolicy
+from repro.web.server import Internet
+from repro.web.url import join_url, url_host, url_path
+
+
+@dataclass
+class ClientConfig:
+    """Tunables for :class:`HttpClient`."""
+
+    user_agent: str = "repro-measurement-crawler/1.0"
+    max_redirects: int = 5
+    max_retries: int = 3
+    backoff_base_seconds: float = 1.0
+    backoff_multiplier: float = 2.0
+    #: Minimum spacing between requests to the same host (politeness).
+    per_host_delay_seconds: float = 0.5
+    #: Honour robots.txt on public (non-onion) hosts.
+    respect_robots: bool = True
+    via_tor: bool = False
+
+
+@dataclass
+class ClientStats:
+    """Counters for reporting and tests."""
+
+    requests_sent: int = 0
+    retries: int = 0
+    robots_blocked: int = 0
+    by_status: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, status: int) -> None:
+        self.requests_sent += 1
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+
+
+class HttpClient:
+    """A polite, retrying HTTP client bound to one :class:`Internet`."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        config: Optional[ClientConfig] = None,
+        client_id: str = "crawler",
+    ) -> None:
+        self._internet = internet
+        self.config = config or ClientConfig()
+        self.client_id = client_id
+        self.cookies: Dict[str, Dict[str, str]] = {}
+        self.stats = ClientStats()
+        self._robots_cache: Dict[str, Optional[RobotsPolicy]] = {}
+        self._last_request_at: Dict[str, float] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def clock(self):
+        """The simulated clock this client charges its time to."""
+        return self._internet.clock
+
+    def get(self, url: str, **params: str) -> Response:
+        return self.request("GET", url, params={k: str(v) for k, v in params.items()})
+
+    def post(self, url: str, form: Optional[Dict[str, str]] = None) -> Response:
+        return self.request("POST", url, form=form or {})
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        params: Optional[Dict[str, str]] = None,
+        form: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        """Send a request, following redirects and retrying retryables."""
+        redirects = 0
+        current_url = url
+        while True:
+            response = self._send_with_retries(method, current_url, params, form)
+            if response.is_redirect:
+                redirects += 1
+                if redirects > self.config.max_redirects:
+                    raise TooManyRedirects(f"redirect limit exceeded at {current_url}")
+                current_url = join_url(current_url, response.headers["Location"])
+                method, params, form = "GET", None, None
+                continue
+            return response
+
+    # -- internals -------------------------------------------------------------
+
+    def _send_with_retries(
+        self,
+        method: str,
+        url: str,
+        params: Optional[Dict[str, str]],
+        form: Optional[Dict[str, str]],
+    ) -> Response:
+        attempt = 0
+        backoff = self.config.backoff_base_seconds
+        while True:
+            response = self._send_once(method, url, params, form)
+            if response.status not in http.RETRYABLE_CODES or attempt >= self.config.max_retries:
+                return response
+            attempt += 1
+            self.stats.retries += 1
+            retry_after = response.header("Retry-After")
+            wait = max(float(retry_after) if retry_after else 0.0, backoff)
+            self._internet.clock.advance(wait)
+            backoff *= self.config.backoff_multiplier
+
+    def _send_once(
+        self,
+        method: str,
+        url: str,
+        params: Optional[Dict[str, str]],
+        form: Optional[Dict[str, str]],
+    ) -> Response:
+        host = url_host(url)
+        self._check_robots(url, host)
+        self._be_polite(host)
+        request = Request(
+            method=method,
+            url=url,
+            headers={"User-Agent": self.config.user_agent},
+            params=dict(params or {}),
+            form=dict(form or {}),
+            cookies=dict(self.cookies.get(host, {})),
+        )
+        response = self._internet.fetch(
+            request, client_id=self.client_id, via_tor=self.config.via_tor
+        )
+        self._last_request_at[host] = self._internet.clock.now()
+        self.stats.record(response.status)
+        if response.set_cookies:
+            jar = self.cookies.setdefault(host, {})
+            jar.update(response.set_cookies)
+        return response
+
+    def _be_polite(self, host: str) -> None:
+        last = self._last_request_at.get(host)
+        if last is None:
+            return
+        delay = self.config.per_host_delay_seconds
+        # robots.txt Crawl-delay overrides the default spacing upward.
+        policy = self._robots_cache.get(host)
+        if self.config.respect_robots and policy is not None:
+            crawl_delay = policy.crawl_delay(self.config.user_agent)
+            if crawl_delay is not None:
+                delay = max(delay, crawl_delay)
+        elapsed = self._internet.clock.now() - last
+        remaining = delay - elapsed
+        if remaining > 0:
+            self._internet.clock.advance(remaining)
+
+    def _check_robots(self, url: str, host: str) -> None:
+        if not self.config.respect_robots or host.endswith(".onion"):
+            return
+        path = url_path(url)
+        if path == "/robots.txt":
+            return
+        policy = self._robots_policy(host, url)
+        if policy is not None and not policy.allows(self.config.user_agent, path):
+            self.stats.robots_blocked += 1
+            raise RequestRejected(f"robots.txt disallows {path} on {host}")
+
+    def _robots_policy(self, host: str, any_url: str) -> Optional[RobotsPolicy]:
+        if host in self._robots_cache:
+            return self._robots_cache[host]
+        robots_url = f"http://{host}/robots.txt"
+        try:
+            request = Request(
+                method="GET",
+                url=robots_url,
+                headers={"User-Agent": self.config.user_agent},
+            )
+            response = self._internet.fetch(
+                request, client_id=self.client_id, via_tor=self.config.via_tor
+            )
+            self.stats.record(response.status)
+        except http.HttpError:
+            self._robots_cache[host] = None
+            return None
+        policy = RobotsPolicy.parse(response.body) if response.ok else None
+        self._robots_cache[host] = policy
+        return policy
+
+
+__all__ = ["ClientConfig", "ClientStats", "HttpClient"]

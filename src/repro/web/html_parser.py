@@ -1,0 +1,71 @@
+"""Parse HTML markup back into the :class:`~repro.web.html.Element` tree.
+
+Built on the stdlib :class:`html.parser.HTMLParser`, with the tolerance a
+crawler needs: unknown entities pass through, stray close tags are ignored,
+and unclosed elements are closed implicitly at the end of input.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import List, Optional, Tuple
+
+from repro.web.html import VOID_TAGS, Element
+
+# Tags whose open implicitly closes a same-tag ancestor (enough tolerance
+# for the markup our marketplaces and a typical scraped page produce).
+_IMPLICIT_CLOSE = {"li", "p", "tr", "td", "th", "option"}
+
+
+class _TreeBuilder(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = Element("document")
+        self._stack: List[Element] = [self.root]
+
+    @property
+    def _top(self) -> Element:
+        return self._stack[-1]
+
+    def handle_starttag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        tag = tag.lower()
+        if tag in _IMPLICIT_CLOSE and self._top.tag == tag:
+            self._stack.pop()
+        element = Element(tag, {name: (value or "") for name, value in attrs})
+        self._top.append(element)
+        if tag not in VOID_TAGS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        element = Element(tag.lower(), {name: (value or "") for name, value in attrs})
+        self._top.append(element)
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        # Pop to the nearest matching open tag; ignore unmatched closers.
+        for depth in range(len(self._stack) - 1, 0, -1):
+            if self._stack[depth].tag == tag:
+                del self._stack[depth:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if data.strip():
+            self._top.append(data)
+
+
+def parse_html(markup: str) -> Element:
+    """Parse markup into an element tree rooted at a ``document`` element.
+
+    >>> doc = parse_html('<div class="x"><a href="/p">go</a></div>')
+    >>> doc.find('a').get('href')
+    '/p'
+    >>> doc.find('div', class_='x').text
+    'go'
+    """
+    builder = _TreeBuilder()
+    builder.feed(markup)
+    builder.close()
+    return builder.root
+
+
+__all__ = ["parse_html"]

@@ -1,0 +1,166 @@
+"""HTTP primitives: requests, responses, status codes, and error types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# Status codes the substrate actually uses, named for readability.
+OK = 200
+MOVED_PERMANENTLY = 301
+FOUND = 302
+BAD_REQUEST = 400
+UNAUTHORIZED = 401
+FORBIDDEN = 403
+NOT_FOUND = 404
+TOO_MANY_REQUESTS = 429
+INTERNAL_SERVER_ERROR = 500
+SERVICE_UNAVAILABLE = 503
+
+REDIRECT_CODES = frozenset({MOVED_PERMANENTLY, FOUND})
+RETRYABLE_CODES = frozenset({TOO_MANY_REQUESTS, INTERNAL_SERVER_ERROR, SERVICE_UNAVAILABLE})
+
+REASONS = {
+    OK: "OK",
+    MOVED_PERMANENTLY: "Moved Permanently",
+    FOUND: "Found",
+    BAD_REQUEST: "Bad Request",
+    UNAUTHORIZED: "Unauthorized",
+    FORBIDDEN: "Forbidden",
+    NOT_FOUND: "Not Found",
+    TOO_MANY_REQUESTS: "Too Many Requests",
+    INTERNAL_SERVER_ERROR: "Internal Server Error",
+    SERVICE_UNAVAILABLE: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Base class for errors raised by the web substrate."""
+
+
+class ConnectionFailed(HttpError):
+    """The hostname does not resolve or the site refused the connection."""
+
+
+class TooManyRedirects(HttpError):
+    """A redirect chain exceeded the client's limit."""
+
+
+class RequestRejected(HttpError):
+    """The client refused to send the request (e.g. robots.txt disallows)."""
+
+
+@dataclass
+class Request:
+    """An HTTP request as the in-process server receives it."""
+
+    method: str
+    url: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    params: Dict[str, str] = field(default_factory=dict)
+    form: Dict[str, str] = field(default_factory=dict)
+    cookies: Dict[str, str] = field(default_factory=dict)
+    #: Filled by the router when the matched route has path parameters.
+    path_params: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        if self.method not in ("GET", "POST", "HEAD"):
+            raise ValueError(f"unsupported method: {self.method}")
+
+    def header(self, name: str, default: str = "") -> str:
+        """Case-insensitive header lookup."""
+        wanted = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == wanted:
+                return value
+        return default
+
+
+@dataclass
+class Response:
+    """An HTTP response."""
+
+    status: int
+    body: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    url: str = ""
+    set_cookies: Dict[str, str] = field(default_factory=dict)
+    #: Simulated seconds the request took (server latency + transfer).
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in REDIRECT_CODES and "Location" in self.headers
+
+    @property
+    def reason(self) -> str:
+        return REASONS.get(self.status, "Unknown")
+
+    def header(self, name: str, default: str = "") -> str:
+        wanted = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == wanted:
+                return value
+        return default
+
+    @property
+    def content_type(self) -> str:
+        return self.header("Content-Type", "text/html")
+
+    def raise_for_status(self) -> "Response":
+        if not self.ok:
+            raise HttpError(f"{self.status} {self.reason} for {self.url}")
+        return self
+
+
+def html_response(body: str, status: int = OK) -> Response:
+    """Convenience constructor for HTML pages."""
+    return Response(status=status, body=body, headers={"Content-Type": "text/html"})
+
+
+def json_like_response(body: str, status: int = OK) -> Response:
+    """Convenience constructor for API endpoints returning JSON text."""
+    return Response(status=status, body=body, headers={"Content-Type": "application/json"})
+
+
+def redirect_response(location: str, permanent: bool = False) -> Response:
+    status = MOVED_PERMANENTLY if permanent else FOUND
+    return Response(status=status, headers={"Location": location})
+
+
+def error_response(status: int, message: str = "") -> Response:
+    reason = REASONS.get(status, "Error")
+    body = message or f"<html><body><h1>{status} {reason}</h1></body></html>"
+    return Response(status=status, body=body, headers={"Content-Type": "text/html"})
+
+
+__all__ = [
+    "BAD_REQUEST",
+    "FORBIDDEN",
+    "FOUND",
+    "INTERNAL_SERVER_ERROR",
+    "MOVED_PERMANENTLY",
+    "NOT_FOUND",
+    "OK",
+    "REASONS",
+    "REDIRECT_CODES",
+    "RETRYABLE_CODES",
+    "SERVICE_UNAVAILABLE",
+    "TOO_MANY_REQUESTS",
+    "UNAUTHORIZED",
+    "ConnectionFailed",
+    "HttpError",
+    "Request",
+    "RequestRejected",
+    "Response",
+    "TooManyRedirects",
+    "error_response",
+    "html_response",
+    "json_like_response",
+    "redirect_response",
+]

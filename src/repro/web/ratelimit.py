@@ -1,0 +1,64 @@
+"""Token-bucket rate limiting on the simulated clock.
+
+Marketplace sites throttle aggressive clients with 429s; the crawler's
+politeness layer spaces its own requests.  Both are built on this bucket.
+"""
+
+from __future__ import annotations
+
+from repro.util.simtime import SimClock
+
+
+class TokenBucket:
+    """A classic token bucket.
+
+    Tokens refill at ``rate_per_second`` up to ``capacity``.  ``try_take``
+    is the server-side operation (fail fast -> 429); ``delay_until_ready``
+    is the client-side operation (how long to politely wait).
+    """
+
+    def __init__(self, clock: SimClock, rate_per_second: float, capacity: float) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._clock = clock
+        self.rate = float(rate_per_second)
+        self.capacity = float(capacity)
+        self._tokens = float(capacity)
+        self._last_refill = clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; return whether it succeeded."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def delay_until_ready(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens would be available (0 if now)."""
+        if amount > self.capacity:
+            raise ValueError("amount exceeds bucket capacity")
+        self._refill()
+        deficit = amount - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+__all__ = ["TokenBucket"]

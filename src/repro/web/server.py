@@ -1,0 +1,192 @@
+"""In-process virtual hosts and the Internet that connects them.
+
+A :class:`Site` owns a hostname, a routing table, optional robots.txt, an
+optional per-client rate limit, and simulated latency.  The
+:class:`Internet` resolves hostnames to sites and dispatches requests; the
+client in :mod:`repro.web.client` talks only to the Internet, exactly as a
+real crawler talks only to sockets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.util.simtime import SimClock
+from repro.web import http
+from repro.web.http import ConnectionFailed, Request, Response
+from repro.web.ratelimit import TokenBucket
+from repro.web.robots import RobotsPolicy
+from repro.web.url import parse_query, url_host, url_path
+
+Handler = Callable[[Request], Response]
+
+_PARAM_RE = re.compile(r"<([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+@dataclass
+class Route:
+    """One route: method + path pattern with ``<param>`` segments."""
+
+    method: str
+    pattern: str
+    handler: Handler
+
+    def __post_init__(self) -> None:
+        parts = []
+        for token in re.split(r"(<[a-zA-Z_][a-zA-Z0-9_]*>)", self.pattern):
+            match = _PARAM_RE.fullmatch(token)
+            if match:
+                parts.append(f"(?P<{match.group(1)}>[^/]+)")
+            else:
+                parts.append(re.escape(token))
+        self._regex = re.compile("^" + "".join(parts) + "$")
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        if method != self.method:
+            return None
+        found = self._regex.match(path)
+        if not found:
+            return None
+        return found.groupdict()
+
+
+class Site:
+    """A virtual host: routes, robots policy, rate limiting, latency."""
+
+    def __init__(
+        self,
+        host: str,
+        clock: Optional[SimClock] = None,
+        latency_seconds: float = 0.15,
+        robots: Optional[RobotsPolicy] = None,
+        robots_text: Optional[str] = None,
+        rate_limit_per_second: Optional[float] = None,
+        rate_limit_burst: float = 10.0,
+    ) -> None:
+        self.host = host.lower()
+        self.clock = clock or SimClock()
+        self.latency_seconds = latency_seconds
+        self.robots_text = robots_text
+        self.robots = robots if robots is not None else (
+            RobotsPolicy.parse(robots_text) if robots_text else None
+        )
+        self._routes: List[Route] = []
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._rate = rate_limit_per_second
+        self._burst = rate_limit_burst
+        self.request_count = 0
+        if robots_text is not None:
+            self.route("GET", "/robots.txt", self._serve_robots)
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(Route(method.upper(), pattern, handler))
+
+    def get(self, pattern: str):
+        """Decorator form: ``@site.get('/offer/<offer_id>')``."""
+
+        def register(handler: Handler) -> Handler:
+            self.route("GET", pattern, handler)
+            return handler
+
+        return register
+
+    def post(self, pattern: str):
+        def register(handler: Handler) -> Handler:
+            self.route("POST", pattern, handler)
+            return handler
+
+        return register
+
+    def _serve_robots(self, request: Request) -> Response:
+        return Response(
+            status=http.OK,
+            body=self.robots_text or "",
+            headers={"Content-Type": "text/plain"},
+        )
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _bucket_for(self, client_id: str) -> Optional[TokenBucket]:
+        if self._rate is None:
+            return None
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.clock, self._rate, self._burst)
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def handle(self, request: Request, client_id: str = "anon") -> Response:
+        """Dispatch one request to this site."""
+        self.request_count += 1
+        bucket = self._bucket_for(client_id)
+        if bucket is not None and not bucket.try_take():
+            response = http.error_response(http.TOO_MANY_REQUESTS)
+            response.headers["Retry-After"] = f"{bucket.delay_until_ready():.1f}"
+            return self._finish(request, response)
+        path = url_path(request.url)
+        request.params = {**parse_query(request.url), **request.params}
+        for route in self._routes:
+            params = route.match(request.method, path)
+            if params is not None:
+                request.path_params = params
+                try:
+                    response = route.handler(request)
+                except http.HttpError:
+                    raise
+                except Exception as exc:  # site bug -> 500, like a real server
+                    response = http.error_response(
+                        http.INTERNAL_SERVER_ERROR, f"<html><body>error: {exc}</body></html>"
+                    )
+                return self._finish(request, response)
+        return self._finish(request, http.error_response(http.NOT_FOUND))
+
+    def _finish(self, request: Request, response: Response) -> Response:
+        response.url = request.url
+        response.elapsed = self.latency_seconds
+        return response
+
+
+class Internet:
+    """Hostname -> Site resolution and request dispatch.
+
+    Tor hidden services (".onion" hosts) are only reachable when the
+    request carries ``via_tor=True`` — mirroring that the underground
+    markets are not on the clear web.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self._sites: Dict[str, Site] = {}
+
+    def register(self, site: Site) -> Site:
+        if site.host in self._sites:
+            raise ValueError(f"host already registered: {site.host}")
+        self._sites[site.host] = site
+        return site
+
+    def site(self, host: str) -> Site:
+        try:
+            return self._sites[host.lower()]
+        except KeyError:
+            raise ConnectionFailed(f"unknown host: {host}") from None
+
+    @property
+    def hosts(self) -> List[str]:
+        return sorted(self._sites)
+
+    def fetch(self, request: Request, client_id: str = "anon", via_tor: bool = False) -> Response:
+        host = url_host(request.url)
+        if not host:
+            raise ConnectionFailed(f"URL has no host: {request.url}")
+        if host.endswith(".onion") and not via_tor:
+            raise ConnectionFailed(f"{host} is a Tor hidden service; connect via Tor")
+        site = self.site(host)
+        self.clock.advance(site.latency_seconds)
+        return site.handle(request, client_id=client_id)
+
+
+__all__ = ["Handler", "Internet", "Route", "Site"]

@@ -1,0 +1,72 @@
+"""Tests for the Section-5 account setup analysis."""
+
+import pytest
+
+from repro.analysis.account_setup import AccountSetupAnalysis
+from repro.synthetic import calibration as cal
+
+
+@pytest.fixture(scope="module")
+def setup(dataset):
+    return AccountSetupAnalysis().run(dataset)
+
+
+class TestCreation:
+    def test_pre2020_fraction_near_30_percent(self, setup):
+        assert 0.22 < setup.creation_overall.pre_2020_fraction < 0.38
+
+    def test_recent_majority(self, setup):
+        assert setup.creation_overall.recent_fraction > 0.6  # paper: ~70%
+
+    def test_tiktok_floor(self, setup):
+        assert setup.creation_by_platform["TikTok"].earliest_year >= 2017
+
+    def test_youtube_old_tail_small(self, setup):
+        youtube = setup.creation_by_platform["YouTube"]
+        assert youtube.fraction_2006_2010 < 0.03  # paper: <0.5%
+
+    def test_x_instagram_facebook_not_before_2010(self, setup):
+        for platform in ("X", "Instagram", "Facebook"):
+            assert setup.creation_by_platform[platform].earliest_year >= 2010
+
+
+class TestFollowers:
+    def test_table4_medians_order(self, setup):
+        medians = {p: s.median for p, s in setup.followers_by_platform.items()}
+        # Paper: TikTok 1 << X 2,752 < IG 8,362 ~ YT 8,460 < FB 27,669.
+        assert medians["TikTok"] < 50
+        assert medians["TikTok"] < medians["X"] < medians["Facebook"]
+
+    def test_table4_extremes(self, setup):
+        for platform, (pmin, _pmed, pmax) in cal.VISIBLE_FOLLOWERS.items():
+            summary = setup.followers_by_platform[platform]
+            assert summary.minimum >= pmin
+            assert summary.maximum <= pmax
+
+    def test_youtube_max_is_the_20m_channel(self, setup):
+        # The Table-4 maximum is pinned in the world; the collector must
+        # surface it unless that account happened to be banned.
+        assert setup.followers_by_platform["YouTube"].maximum >= 1_000_000
+
+
+class TestProfileMetadata:
+    def test_us_leads_locations(self, setup):
+        top = AccountSetupAnalysis.top_locations(setup)
+        assert top[0][0] == "United States"
+
+    def test_location_minority(self, setup, dataset):
+        share = setup.location_count / len(dataset.profiles)
+        assert 0.15 < share < 0.42  # paper: ~28%
+
+    def test_affiliated_head(self, setup):
+        top = [name for name, _n in AccountSetupAnalysis.top_affiliated(setup)]
+        assert "Brand and Business" in top[:3]
+
+    def test_account_types_minorities(self, setup):
+        total = setup.active_total
+        for type_name, count in setup.account_types.items():
+            assert count / total < 0.15, type_name
+
+    def test_active_plus_inactive_is_total(self, setup, dataset):
+        inactive = sum(1 for p in dataset.profiles if not p.is_active)
+        assert setup.active_total + inactive == setup.profiles_total

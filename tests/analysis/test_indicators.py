@@ -1,0 +1,162 @@
+"""Tests for the Section-9 indicator engine."""
+
+import pytest
+
+from repro.analysis.indicators import (
+    DEFAULT_WEIGHTS,
+    IndicatorEngine,
+    IndicatorEvaluation,
+)
+from repro.analysis.network import NetworkAnalysis
+from repro.core.dataset import PostRecord, ProfileRecord
+
+
+def profile(**kwargs):
+    defaults = dict(profile_url="http://x.example/h", platform="X", handle="h")
+    defaults.update(kwargs)
+    return ProfileRecord(**defaults)
+
+
+def post(text, handle="h", platform="X"):
+    return PostRecord(post_id="p", platform=platform, handle=handle, text=text)
+
+
+class TestIndividualIndicators:
+    def test_referral(self):
+        engine = IndicatorEngine()
+        risk = engine.score_profile(profile(), [], referred=True, clustered=False)
+        assert "marketplace_referral" in risk.indicator_names
+
+    def test_trending_name(self):
+        engine = IndicatorEngine()
+        risk = engine.score_profile(
+            profile(handle="cryptoluxury99"), [], referred=False, clustered=False
+        )
+        assert "trending_name" in risk.indicator_names
+
+    def test_follower_anomaly_empty_timeline(self):
+        engine = IndicatorEngine()
+        risk = engine.score_profile(
+            profile(followers=50_000), [], referred=False, clustered=False
+        )
+        assert "follower_anomaly" in risk.indicator_names
+
+    def test_follower_anomaly_young_account(self):
+        engine = IndicatorEngine()
+        risk = engine.score_profile(
+            profile(followers=100_000, created="2023-12-01"),
+            [post("a post")],
+            referred=False, clustered=False,
+        )
+        assert "follower_anomaly" in risk.indicator_names
+
+    def test_no_anomaly_for_modest_profiles(self):
+        engine = IndicatorEngine()
+        risk = engine.score_profile(
+            profile(followers=120, created="2015-01-01"),
+            [post("a normal post about hiking")],
+            referred=False, clustered=False,
+        )
+        assert "follower_anomaly" not in risk.indicator_names
+
+    def test_scam_content(self):
+        engine = IndicatorEngine()
+        scammy = post(
+            "Guaranteed profit trading bitcoin, deposit now for instant payout"
+        )
+        risk = engine.score_profile(profile(), [scammy], referred=False, clustered=False)
+        assert "scam_content" in risk.indicator_names
+
+    def test_benign_content_not_flagged(self):
+        engine = IndicatorEngine()
+        benign = post("lovely morning walk with the dog in the park")
+        risk = engine.score_profile(profile(), [benign], referred=False, clustered=False)
+        assert "scam_content" not in risk.indicator_names
+
+    def test_cluster_indicator(self):
+        engine = IndicatorEngine()
+        risk = engine.score_profile(profile(), [], referred=False, clustered=True)
+        assert "coordinated_cluster" in risk.indicator_names
+
+    def test_score_sums_weights(self):
+        engine = IndicatorEngine()
+        risk = engine.score_profile(profile(), [], referred=True, clustered=True)
+        expected = DEFAULT_WEIGHTS["marketplace_referral"] + DEFAULT_WEIGHTS["coordinated_cluster"]
+        assert risk.score == pytest.approx(expected)
+
+    def test_disabled_indicators_never_fire(self):
+        engine = IndicatorEngine(enabled={"scam_content"})
+        risk = engine.score_profile(
+            profile(handle="cryptogains", followers=90_000), [],
+            referred=True, clustered=True,
+        )
+        assert risk.hits == []
+
+    def test_unknown_indicator_rejected(self):
+        with pytest.raises(ValueError):
+            IndicatorEngine(enabled={"mind_reading"})
+
+
+class TestDatasetScoring:
+    def test_all_collected_profiles_carry_referral(self, dataset):
+        engine = IndicatorEngine()
+        risks = engine.score_dataset(dataset)
+        assert len(risks) == len(dataset.profiles)
+        assert all("marketplace_referral" in r.indicator_names for r in risks)
+
+    def test_behavioural_indicators_separate_scammers(self, dataset, world):
+        engine = IndicatorEngine(
+            enabled={"scam_content", "follower_anomaly", "trending_name",
+                     "coordinated_cluster"}
+        )
+        network = NetworkAnalysis().run(dataset)
+        risks = engine.score_dataset(dataset, network)
+        scammers = {
+            (a.platform.value, a.handle)
+            for a in world.accounts.values() if a.is_scammer
+        }
+        evaluation = IndicatorEngine.evaluate(risks, scammers, threshold=0.9)
+        # scam_content alone crosses 0.9; flagging should be dominated by
+        # actual scammers and recover most of them.
+        assert evaluation.precision > 0.8
+        assert evaluation.recall > 0.7
+
+    def test_indicators_beat_platform_efficacy(self, dataset, world):
+        # Section 8: platforms actioned 19.7%; the Section-9 indicators
+        # recover far more of the abusive population.
+        engine = IndicatorEngine(
+            enabled={"scam_content", "follower_anomaly", "trending_name",
+                     "coordinated_cluster"}
+        )
+        risks = engine.score_dataset(dataset)
+        scammers = {
+            (a.platform.value, a.handle)
+            for a in world.accounts.values() if a.is_scammer
+        }
+        evaluation = IndicatorEngine.evaluate(risks, scammers, threshold=0.9)
+        assert evaluation.recall > 0.35  # >> the 19.7% actioned baseline
+
+    def test_sweep_monotone(self, dataset, world):
+        engine = IndicatorEngine()
+        risks = engine.score_dataset(dataset)
+        scammers = {
+            (a.platform.value, a.handle)
+            for a in world.accounts.values() if a.is_scammer
+        }
+        sweep = IndicatorEngine.sweep(risks, scammers, [0.5, 1.0, 1.5, 2.0])
+        flagged = [e.flagged for e in sweep]
+        assert flagged == sorted(flagged, reverse=True)
+
+
+class TestEvaluation:
+    def test_empty_flagging(self):
+        evaluation = IndicatorEvaluation(threshold=1, flagged=0,
+                                         true_positives=0, relevant=10)
+        assert evaluation.precision == 0.0
+        assert evaluation.recall == 0.0
+
+    def test_perfect_flagging(self):
+        evaluation = IndicatorEvaluation(threshold=1, flagged=10,
+                                         true_positives=10, relevant=10)
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0

@@ -1,0 +1,123 @@
+"""Tests for the Section-4.2 underground analysis and the figure builders."""
+
+import pytest
+
+from repro.analysis.figures import (
+    creation_cdf,
+    fig3_outlier,
+    fig5_descriptions,
+    listing_dynamics,
+)
+from repro.analysis.network import NetworkAnalysis
+from repro.analysis.underground_analysis import UndergroundAnalysis
+from repro.synthetic import calibration as cal
+
+
+@pytest.fixture(scope="module")
+def underground(dataset):
+    return UndergroundAnalysis().run(dataset.underground)
+
+
+class TestUndergroundAnalysis:
+    def test_total_posts(self, underground):
+        assert underground.total_posts == cal.UNDERGROUND_TOTAL_POSTS
+
+    def test_nexus_most_active(self, underground):
+        assert underground.most_active_market == "Nexus"
+
+    def test_market_coverage(self, underground):
+        assert set(underground.markets) == set(cal.UNDERGROUND_MARKETS)
+
+    def test_tiktok_dominates_postings(self, underground):
+        counts = underground.posts_per_platform
+        assert counts.most_common(1)[0][0] == "TikTok"
+
+    def test_tiktok_reuse_matches_paper(self, underground):
+        reuse = underground.reuse_by_platform["TikTok"]
+        assert reuse.posts == pytest.approx(cal.UNDERGROUND_TIKTOK_POSTS, abs=3)
+        assert reuse.reused_posts == pytest.approx(cal.UNDERGROUND_TIKTOK_REUSED, abs=3)
+        assert reuse.reused_posts < reuse.posts / 2
+
+    def test_similarity_range_within_paper_bounds(self, underground):
+        for reuse in underground.reuse_by_platform.values():
+            if reuse.reused_posts:
+                assert reuse.min_similarity >= 0.85
+                assert reuse.max_similarity <= 1.0
+
+    def test_identical_pair_detected(self, underground):
+        assert underground.reuse_by_platform["TikTok"].max_similarity == pytest.approx(1.0)
+
+    def test_cross_market_sellers(self, underground):
+        assert len(underground.cross_market_sellers) >= cal.UNDERGROUND_CROSS_MARKET_SELLERS
+
+    def test_post_lengths_within_paper_band(self, underground):
+        low, high = underground.mean_words_range
+        assert low >= cal.UNDERGROUND_POST_WORDS[0]
+        assert high <= cal.UNDERGROUND_POST_WORDS[1]
+
+    def test_bulk_market_flagged(self, underground):
+        assert underground.markets["Kerberos"].bulk_posts >= 1
+
+    def test_empty_corpus(self):
+        report = UndergroundAnalysis().run([])
+        assert report.total_posts == 0
+        assert report.markets == {}
+
+
+class TestFigure2:
+    def test_series_properties(self, study_result):
+        dynamics = listing_dynamics(
+            study_result.active_per_iteration, study_result.cumulative_per_iteration
+        )
+        assert dynamics.cumulative_monotonic
+        assert all(
+            a <= c for a, c in zip(dynamics.active, dynamics.cumulative)
+        )
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            listing_dynamics([1, 2], [1])
+
+    def test_decline_detection(self):
+        rising = listing_dynamics([1, 2, 3], [1, 2, 3])
+        assert not rising.active_declines
+        dipping = listing_dynamics([1, 5, 3], [1, 5, 6])
+        assert dipping.active_declines
+        assert dipping.peak_active_iteration == 1
+
+
+class TestFigure3:
+    def test_finds_the_outlier(self, dataset):
+        outlier = fig3_outlier(dataset)
+        assert outlier is not None
+        assert outlier.marketplace == cal.FIG3_OUTLIER_MARKET
+        assert outlier.price_usd == cal.FIG3_OUTLIER_PRICE
+
+    def test_none_when_no_outlier(self, dataset):
+        assert fig3_outlier(dataset, threshold=10**12) is None
+
+
+class TestFigure4:
+    def test_cdf_per_platform(self, dataset):
+        series = creation_cdf(dataset)
+        assert "All" in series
+        for points in series.values():
+            values = [v for v, _f in points]
+            fractions = [f for _v, f in points]
+            assert values == sorted(values)
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_all_series_pre2020_share(self, dataset):
+        series = creation_cdf(dataset)
+        below_2020 = max(
+            (f for v, f in series["All"] if v < 2020), default=0.0
+        )
+        assert 0.2 < below_2020 < 0.4  # paper: ~30%
+
+
+class TestFigure5:
+    def test_descriptions_extracted(self, dataset):
+        network = NetworkAnalysis().run(dataset)
+        descriptions = fig5_descriptions(network, n=3)
+        assert 1 <= len(descriptions) <= 3
+        assert all(isinstance(d, str) and d for d in descriptions)

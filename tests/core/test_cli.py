@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestChannels:
+    def test_prints_table9(self, capsys):
+        assert main(["channels"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 9" in out
+        assert "contact points" in out
+
+
+class TestRunAndReport:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "run"
+        code = main([
+            "run", "--scale", "0.02", "--iterations", "2",
+            "--seed", "123", "--out", str(path),
+        ])
+        assert code == 0
+        return str(path)
+
+    def test_run_saves_dataset_and_meta(self, run_dir, capsys):
+        assert os.path.exists(os.path.join(run_dir, "listings.jsonl"))
+        assert os.path.exists(os.path.join(run_dir, "profiles.jsonl"))
+        with open(os.path.join(run_dir, "study_meta.json")) as handle:
+            meta = json.load(handle)
+        assert meta["scale"] == 0.02
+        assert len(meta["active_per_iteration"]) == 2
+        assert "Z2U" in meta["payment_methods"]
+
+    def test_report_renders_all_tables(self, run_dir, capsys):
+        assert main(["report", run_dir]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+                       "Table 6", "Table 7", "Table 8", "Table 9",
+                       "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+                       "underground"):
+            assert marker in out, marker
+
+    def test_report_scale_override(self, run_dir, capsys):
+        assert main(["report", run_dir, "--scale", "0.02"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_report_missing_run_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+
+
+class TestTables:
+    def test_one_shot(self, capsys):
+        code = main([
+            "tables", "--scale", "0.02", "--iterations", "2",
+            "--seed", "5", "--no-underground",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 8" in out
+
+
+class TestFigures:
+    def test_export_csvs(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(["run", "--scale", "0.02", "--iterations", "2",
+                     "--seed", "9", "--out", run_dir]) == 0
+        capsys.readouterr()
+        out_dir = str(tmp_path / "figs")
+        assert main(["figures", run_dir, "--out", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fig2_listing_dynamics.csv" in out
+        import csv
+
+        with open(os.path.join(out_dir, "fig2_listing_dynamics.csv")) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["iteration", "active_listings", "cumulative_listings"]
+        assert len(rows) == 3  # header + 2 iterations
+        with open(os.path.join(out_dir, "table8_efficacy.csv")) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "platform"
+        assert len(rows) == 6  # header + 5 platforms
+
+    def test_export_missing_run_fails(self, tmp_path):
+        assert main(["figures", str(tmp_path / "nope"), "--out",
+                     str(tmp_path / "o")]) == 1

@@ -1,0 +1,102 @@
+"""Tests for the measurement dataset records and persistence."""
+
+import pytest
+
+from repro.core.dataset import (
+    ListingRecord,
+    MeasurementDataset,
+    PostRecord,
+    ProfileRecord,
+    SellerRecord,
+    UndergroundRecord,
+    dedup_by,
+)
+
+
+def sample_dataset():
+    ds = MeasurementDataset()
+    ds.listings = [
+        ListingRecord(offer_url="http://m.example/offer/1", marketplace="M1",
+                      platform="X", price_usd=17.0,
+                      profile_url="http://x.example/h1"),
+        ListingRecord(offer_url="http://m.example/offer/2", marketplace="M2",
+                      platform="Instagram", price_usd=298.0),
+    ]
+    ds.sellers = [SellerRecord(seller_url="http://m.example/seller/1",
+                               marketplace="M1", name="S", country="Turkey")]
+    ds.profiles = [ProfileRecord(profile_url="http://x.example/h1", platform="X",
+                                 handle="h1", followers=2752, status="active")]
+    ds.posts = [PostRecord(post_id="p1", platform="X", handle="h1",
+                           text="hello world", likes=3)]
+    ds.underground = [UndergroundRecord(url="http://n.onion/thread/1",
+                                        market="Nexus", title="t", body="b",
+                                        author="a", platform="TikTok")]
+    return ds
+
+
+class TestViews:
+    def test_by_marketplace(self):
+        grouped = sample_dataset().listings_by_marketplace()
+        assert set(grouped) == {"M1", "M2"}
+        assert len(grouped["M1"]) == 1
+
+    def test_by_platform(self):
+        ds = sample_dataset()
+        assert set(ds.profiles_by_platform()) == {"X"}
+        assert set(ds.posts_by_platform()) == {"X"}
+
+    def test_visible_listings(self):
+        visible = sample_dataset().visible_listings()
+        assert len(visible) == 1
+        assert visible[0].has_visible_profile
+
+    def test_profile_for_url(self):
+        ds = sample_dataset()
+        assert ds.profile_for_url("http://x.example/h1").handle == "h1"
+        assert ds.profile_for_url("http://x.example/none") is None
+
+    def test_summary(self):
+        assert sample_dataset().summary() == {
+            "sellers": 1, "listings": 2, "profiles": 1, "posts": 1, "underground": 1,
+        }
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = sample_dataset()
+        ds.save(str(tmp_path / "run1"))
+        loaded = MeasurementDataset.load(str(tmp_path / "run1"))
+        assert loaded.summary() == ds.summary()
+        assert loaded.listings[0] == ds.listings[0]
+        assert loaded.profiles[0] == ds.profiles[0]
+        assert loaded.underground[0] == ds.underground[0]
+
+    def test_load_missing_directory_gives_empty(self, tmp_path):
+        loaded = MeasurementDataset.load(str(tmp_path / "nothing"))
+        assert loaded.summary() == {
+            "sellers": 0, "listings": 0, "profiles": 0, "posts": 0, "underground": 0,
+        }
+
+    def test_full_study_roundtrip(self, tmp_path, dataset):
+        dataset.save(str(tmp_path / "study"))
+        loaded = MeasurementDataset.load(str(tmp_path / "study"))
+        assert loaded.summary() == dataset.summary()
+        original_prices = sorted(
+            l.price_usd for l in dataset.listings if l.price_usd is not None
+        )
+        loaded_prices = sorted(
+            l.price_usd for l in loaded.listings if l.price_usd is not None
+        )
+        assert original_prices == loaded_prices
+
+
+class TestMergeAndDedup:
+    def test_merge_appends(self):
+        a = sample_dataset()
+        b = sample_dataset()
+        a.merge(b)
+        assert len(a.listings) == 4
+
+    def test_dedup_by(self):
+        records = [1, 2, 2, 3, 1]
+        assert dedup_by(records, key=lambda r: r) == [1, 2, 3]

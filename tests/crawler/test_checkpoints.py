@@ -1,0 +1,108 @@
+"""Tests for crawl checkpointing and resume."""
+
+import os
+
+import pytest
+
+from repro.crawler.checkpoints import CrawlCheckpoint
+from repro.crawler.crawler import IterationCrawl
+from repro.core.dataset import ListingRecord
+from repro.marketplaces.public import PublicMarketplaceSite
+from repro.marketplaces.registry import MARKETPLACES
+from repro.synthetic import WorldBuilder, WorldConfig
+from repro.web.client import ClientConfig, HttpClient
+from repro.web.server import Internet
+
+
+class TestCheckpointPersistence:
+    def test_roundtrip(self, tmp_path):
+        record = ListingRecord(
+            offer_url="http://m.example/offer/1", marketplace="M",
+            platform="X", price_usd=17.0, first_seen_iteration=1,
+            last_seen_iteration=2,
+        )
+        checkpoint = CrawlCheckpoint(
+            completed_iterations=3,
+            active_per_iteration=[5, 6, 4],
+            cumulative_per_iteration=[5, 7, 8],
+            tracker={"key": record},
+        )
+        path = str(tmp_path / "crawl.json")
+        checkpoint.save(path)
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.completed_iterations == 3
+        assert loaded.active_per_iteration == [5, 6, 4]
+        assert loaded.tracker["key"] == record
+
+    def test_load_or_empty(self, tmp_path):
+        checkpoint = CrawlCheckpoint.load_or_empty(str(tmp_path / "missing.json"))
+        assert checkpoint.completed_iterations == 0
+        assert checkpoint.tracker == {}
+
+    def test_no_torn_writes(self, tmp_path):
+        path = str(tmp_path / "crawl.json")
+        CrawlCheckpoint(completed_iterations=1).save(path)
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestResume:
+    @pytest.fixture()
+    def deployment(self):
+        world = WorldBuilder(WorldConfig(seed=31, scale=0.02, iterations=4)).build()
+        net = Internet()
+        sites = {}
+        for name in ("Accsmarket", "InstaSale"):
+            site = PublicMarketplaceSite(MARKETPLACES[name], world, clock=net.clock)
+            net.register(site)
+            sites[name] = site
+        client = HttpClient(net, ClientConfig(per_host_delay_seconds=0.0))
+        seed_urls = {n: f"http://{s.host}/listings" for n, s in sites.items()}
+
+        def set_iteration(i):
+            for site in sites.values():
+                site.current_iteration = i
+
+        return world, client, seed_urls, set_iteration
+
+    def test_resumed_crawl_matches_uninterrupted(self, tmp_path, deployment):
+        world, client, seed_urls, set_iteration = deployment
+        # Reference: one uninterrupted 4-iteration crawl.
+        reference = IterationCrawl(
+            client=client, seed_urls=seed_urls,
+            set_iteration=set_iteration, iterations=4,
+        ).run()
+        # Interrupted: two iterations, "crash", then resume to four.
+        path = str(tmp_path / "checkpoint.json")
+        IterationCrawl(
+            client=client, seed_urls=seed_urls, set_iteration=set_iteration,
+            iterations=2, checkpoint_path=path,
+        ).run()
+        resumed_crawl = IterationCrawl(
+            client=client, seed_urls=seed_urls, set_iteration=set_iteration,
+            iterations=4, checkpoint_path=path,
+        )
+        resumed = resumed_crawl.run()
+        assert len(resumed.listings) == len(reference.listings)
+        assert sorted(l.offer_url for l in resumed.listings) == \
+            sorted(l.offer_url for l in reference.listings)
+        assert len(resumed_crawl.cumulative_per_iteration) == 4
+        # first-seen bookkeeping survives the restart.
+        ref_first = {l.offer_url: l.first_seen_iteration for l in reference.listings}
+        for record in resumed.listings:
+            assert record.first_seen_iteration == ref_first[record.offer_url]
+
+    def test_completed_checkpoint_skips_work(self, tmp_path, deployment):
+        _world, client, seed_urls, set_iteration = deployment
+        path = str(tmp_path / "done.json")
+        IterationCrawl(
+            client=client, seed_urls=seed_urls, set_iteration=set_iteration,
+            iterations=2, checkpoint_path=path,
+        ).run()
+        requests_before = client.stats.requests_sent
+        rerun = IterationCrawl(
+            client=client, seed_urls=seed_urls, set_iteration=set_iteration,
+            iterations=2, checkpoint_path=path,
+        )
+        dataset = rerun.run()
+        assert client.stats.requests_sent == requests_before  # nothing refetched
+        assert dataset.listings  # state came from the checkpoint

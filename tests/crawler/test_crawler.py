@@ -1,0 +1,142 @@
+"""Tests for the marketplace crawler and the iteration scheduler."""
+
+import pytest
+
+from repro.crawler.crawler import IterationCrawl, MarketplaceCrawler
+from repro.marketplaces.public import PublicMarketplaceSite
+from repro.marketplaces.registry import MARKETPLACES
+from repro.synthetic import WorldBuilder, WorldConfig
+from repro.web.client import ClientConfig, HttpClient
+from repro.web.server import Internet
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    world = WorldBuilder(WorldConfig(seed=91, scale=0.02, iterations=4)).build()
+    net = Internet()
+    sites = {}
+    for name in ("Accsmarket", "Z2U", "SocialTradia"):
+        site = PublicMarketplaceSite(MARKETPLACES[name], world, clock=net.clock)
+        net.register(site)
+        sites[name] = site
+    client = HttpClient(net, ClientConfig(per_host_delay_seconds=0.0))
+    return world, net, sites, client
+
+
+class TestMarketplaceCrawler:
+    def test_full_coverage_of_active_listings(self, deployment):
+        world, _net, sites, client = deployment
+        site = sites["Accsmarket"]
+        site.current_iteration = world.iterations - 1
+        crawler = MarketplaceCrawler(client, "Accsmarket", f"http://{site.host}/listings")
+        listings, _sellers, report = crawler.crawl()
+        active = {l.listing_id for l in site.active_listings()}
+        crawled_ids = {l.offer_url.rsplit("/", 1)[-1] for l in listings}
+        assert crawled_ids == active
+        assert report.offers_parsed == len(active)
+        assert report.errors == 0
+
+    def test_extracted_fields_match_ground_truth(self, deployment):
+        world, _net, sites, client = deployment
+        site = sites["Z2U"]
+        site.current_iteration = world.iterations - 1
+        crawler = MarketplaceCrawler(client, "Z2U", f"http://{site.host}/listings")
+        listings, _sellers, _report = crawler.crawl()
+        truth = {l.listing_id: l for l in world.listings_for_market("Z2U")}
+        for record in listings:
+            listing_id = record.offer_url.rsplit("/", 1)[-1]
+            expected = truth[listing_id]
+            assert record.platform == expected.platform.value
+            assert record.price_usd == pytest.approx(
+                expected.price.as_dollars, abs=1.0
+            )
+            assert record.category == expected.category
+
+    def test_seller_pages_visited_once_each(self, deployment):
+        world, _net, sites, client = deployment
+        site = sites["Accsmarket"]
+        site.current_iteration = world.iterations - 1
+        crawler = MarketplaceCrawler(client, "Accsmarket", f"http://{site.host}/listings")
+        listings, sellers, _report = crawler.crawl()
+        seller_urls = {l.seller_url for l in listings if l.seller_url}
+        assert len(sellers) == len(seller_urls)
+
+    def test_hidden_market_yields_no_sellers(self, deployment):
+        world, _net, sites, client = deployment
+        site = sites["SocialTradia"]
+        site.current_iteration = 0
+        crawler = MarketplaceCrawler(
+            client, "SocialTradia", f"http://{site.host}/listings"
+        )
+        _listings, sellers, _report = crawler.crawl()
+        assert sellers == []
+
+    def test_payment_methods_collected(self, deployment):
+        _world, _net, sites, client = deployment
+        crawler = MarketplaceCrawler(
+            client, "Z2U", f"http://{sites['Z2U'].host}/listings"
+        )
+        methods = crawler.collect_payment_methods()
+        assert ("Digital Wallets", "PayPal") in methods
+
+    def test_unreachable_host_reports_error(self, deployment):
+        _world, _net, _sites, client = deployment
+        crawler = MarketplaceCrawler(client, "Ghost", "http://ghost.example/listings")
+        listings, _sellers, report = crawler.crawl()
+        assert listings == []
+        assert report.errors == 1
+
+
+class TestIterationCrawl:
+    def test_figure2_bookkeeping(self, deployment):
+        world, _net, sites, client = deployment
+
+        def set_iteration(i):
+            for site in sites.values():
+                site.current_iteration = i
+
+        crawl = IterationCrawl(
+            client=client,
+            seed_urls={
+                name: f"http://{site.host}/listings" for name, site in sites.items()
+            },
+            set_iteration=set_iteration,
+            iterations=world.iterations,
+        )
+        dataset = crawl.run()
+        assert len(crawl.active_per_iteration) == world.iterations
+        assert len(crawl.cumulative_per_iteration) == world.iterations
+        # Cumulative is monotone non-decreasing.
+        assert all(
+            b >= a for a, b in zip(
+                crawl.cumulative_per_iteration, crawl.cumulative_per_iteration[1:]
+            )
+        )
+        # Final cumulative equals distinct listings observed.
+        assert crawl.cumulative_per_iteration[-1] == len(dataset.listings)
+        # Active never exceeds cumulative.
+        assert all(
+            a <= c for a, c in zip(
+                crawl.active_per_iteration, crawl.cumulative_per_iteration
+            )
+        )
+
+    def test_first_last_seen_tracked(self, deployment):
+        world, _net, sites, client = deployment
+
+        def set_iteration(i):
+            for site in sites.values():
+                site.current_iteration = i
+
+        crawl = IterationCrawl(
+            client=client,
+            seed_urls={"Accsmarket": f"http://{sites['Accsmarket'].host}/listings"},
+            set_iteration=set_iteration,
+            iterations=world.iterations,
+        )
+        dataset = crawl.run()
+        for record in dataset.listings:
+            assert 0 <= record.first_seen_iteration <= record.last_seen_iteration
+            assert record.last_seen_iteration < world.iterations
+        late = [r for r in dataset.listings if r.first_seen_iteration > 0]
+        assert late  # replenishment means some listings appear later

@@ -1,0 +1,218 @@
+"""Tests for HTML extraction across all page themes."""
+
+import pytest
+
+from repro.crawler.extractor import (
+    ExtractionError,
+    extract_listing_index,
+    extract_offer,
+    extract_payment_methods,
+    extract_section_links,
+    extract_seller,
+    extract_thread_list,
+    extract_underground_posting,
+)
+
+CARDS_OFFER = """
+<html><body>
+<div class="offer-card" data-offer-id="m-1">
+  <h1 class="offer-title">Instagram account - 26.9K followers</h1>
+  <span class="offer-price">$1,234</span>
+  <ul class="offer-props">
+    <li data-prop="platform">Instagram</li>
+    <li data-prop="category">Humor/Memes</li>
+    <li data-prop="followers">26.9K</li>
+    <li data-prop="monthly-revenue">$136</li>
+  </ul>
+  <a class="seller-link" href="/seller/s-9">Best Seller</a>
+  <a class="profile-link" href="http://instagram.example/cool.handle">View profile</a>
+  <span class="verified-badge">Verified</span>
+  <div class="offer-description">Fresh and ready account.</div>
+  <div class="income-source">Monetized with Google AdSense.</div>
+</div>
+</body></html>
+"""
+
+TABLE_OFFER = """
+<html><body>
+<div class="offer-page" data-offer-id="m-2">
+  <h1 class="offer-title">X account</h1>
+  <table class="offer-details">
+    <tr><th>Platform</th><td>X</td></tr>
+    <tr><th>Price</th><td>$17</td></tr>
+    <tr><th>Followers</th><td>3,077</td></tr>
+  </table>
+</div>
+</body></html>
+"""
+
+DL_OFFER = """
+<html><body>
+<div class="offer-page">
+  <h1 class="offer-title">TikTok account</h1>
+  <dl class="offer-info">
+    <dt>platform</dt><dd>TikTok</dd>
+    <dt>price</dt><dd>$755</dd>
+    <dt>category</dt><dd>Games</dd>
+  </dl>
+</div>
+</body></html>
+"""
+
+
+class TestOfferExtraction:
+    def test_cards_theme_full_record(self):
+        record = extract_offer("http://m.example/offer/1", CARDS_OFFER, "M")
+        assert record.platform == "Instagram"
+        assert record.price_usd == 1234.0
+        assert record.category == "Humor/Memes"
+        assert record.followers_claimed == 26_900
+        assert record.monthly_revenue_usd == 136.0
+        assert record.seller_name == "Best Seller"
+        assert record.seller_url == "http://m.example/seller/s-9"
+        assert record.profile_url == "http://instagram.example/cool.handle"
+        assert record.verified_claim
+        assert "Fresh and ready" in record.description
+        assert "AdSense" in record.income_source
+
+    def test_table_theme(self):
+        record = extract_offer("http://m.example/offer/2", TABLE_OFFER, "M")
+        assert record.platform == "X"
+        assert record.price_usd == 17.0
+        assert record.followers_claimed == 3077
+        assert not record.verified_claim
+        assert record.profile_url is None
+
+    def test_dl_theme(self):
+        record = extract_offer("http://m.example/offer/3", DL_OFFER, "M")
+        assert record.platform == "TikTok"
+        assert record.price_usd == 755.0
+        assert record.category == "Games"
+
+    def test_unstructured_page_raises(self):
+        with pytest.raises(ExtractionError):
+            extract_offer("http://m.example/x", "<html><body>hi</body></html>", "M")
+
+    def test_missing_optional_fields_are_none(self):
+        markup = """
+        <div class="offer-card"><h1 class="offer-title">t</h1>
+        <span class="offer-price">$5</span></div>
+        """
+        record = extract_offer("http://m.example/o", markup, "M")
+        assert record.category is None
+        assert record.followers_claimed is None
+        assert record.description is None
+
+
+class TestIndexExtraction:
+    def test_links_and_next(self):
+        markup = """
+        <ul class="offer-list">
+          <li><a class="offer-link" href="/offer/a">A</a></li>
+          <li><a class="offer-link" href="/offer/b">B</a></li>
+        </ul>
+        <a class="next-page" href="/listings?page=2">next</a>
+        """
+        index = extract_listing_index("http://m.example/listings", markup)
+        assert index.offer_urls == [
+            "http://m.example/offer/a", "http://m.example/offer/b",
+        ]
+        assert index.next_page_url == "http://m.example/listings?page=2"
+
+    def test_last_page_has_no_next(self):
+        index = extract_listing_index("http://m.example/listings", "<ul></ul>")
+        assert index.offer_urls == []
+        assert index.next_page_url is None
+
+
+class TestSellerExtraction:
+    def test_full_seller(self):
+        markup = """
+        <h1 class="seller-name">Maria Khan</h1>
+        <span class="seller-rating">4.5</span>
+        <span class="seller-country">Turkey</span>
+        <span class="seller-joined">2022-03-01</span>
+        """
+        record = extract_seller("http://m.example/seller/1", markup, "M")
+        assert record.name == "Maria Khan"
+        assert record.country == "Turkey"
+        assert record.rating == 4.5
+        assert record.joined == "2022-03-01"
+
+    def test_country_optional(self):
+        markup = '<h1 class="seller-name">Anon</h1>'
+        record = extract_seller("http://m.example/seller/2", markup, "M")
+        assert record.country is None
+
+    def test_missing_name_raises(self):
+        with pytest.raises(ExtractionError):
+            extract_seller("http://m.example/s", "<p>nothing</p>", "M")
+
+
+class TestPaymentsExtraction:
+    def test_methods_with_groups(self):
+        markup = """
+        <ul class="payment-list">
+          <li class="payment-method" data-group="Crypto">BTC</li>
+          <li class="payment-method" data-group="Digital Wallets">PayPal</li>
+        </ul>
+        """
+        assert extract_payment_methods(markup) == [
+            ("Crypto", "BTC"), ("Digital Wallets", "PayPal"),
+        ]
+
+    def test_no_methods(self):
+        assert extract_payment_methods("<p>Contact support</p>") == []
+
+
+class TestForumExtraction:
+    def test_thread_list(self):
+        markup = """
+        <ul class="thread-list">
+          <li><a class="thread-link" href="/thread/t1">T1</a></li>
+        </ul>
+        <a class="next-page" href="/section/tiktok?page=2">next</a>
+        """
+        threads = extract_thread_list("http://f.onion/section/tiktok", markup)
+        assert threads.thread_urls == ["http://f.onion/thread/t1"]
+        assert threads.next_page_url == "http://f.onion/section/tiktok?page=2"
+
+    def test_section_links(self):
+        markup = '<a class="section-link" href="/section/x">X accounts</a>'
+        assert extract_section_links("http://f.onion/forum", markup) == [
+            "http://f.onion/section/x"
+        ]
+
+    def test_posting(self):
+        markup = """
+        <h1 class="post-title">[TikTok] accounts for sale</h1>
+        <span class="post-author">darkvendor42</span>
+        <div class="post-body">Selling aged accounts, contact on telegram.</div>
+        <span class="post-quantity">25</span>
+        <span class="post-replies">3</span>
+        <span class="post-date">2024-04-01</span>
+        <span class="post-price">$60</span>
+        """
+        record = extract_underground_posting(
+            "http://f.onion/thread/t1", markup, "Nexus", "TikTok"
+        )
+        assert record.author == "darkvendor42"
+        assert record.quantity == 25
+        assert record.replies == 3
+        assert record.price_usd == 60.0
+        assert record.date == "2024-04-01"
+
+    def test_posting_optional_fields(self):
+        markup = """
+        <h1 class="post-title">t</h1>
+        <span class="post-author">a</span>
+        <div class="post-body">b</div>
+        """
+        record = extract_underground_posting("http://f.onion/t", markup, "M", None)
+        assert record.date is None
+        assert record.price_usd is None
+        assert record.quantity == 1
+
+    def test_incomplete_posting_raises(self):
+        with pytest.raises(ExtractionError):
+            extract_underground_posting("http://f.onion/t", "<p>x</p>", "M", None)

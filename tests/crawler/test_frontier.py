@@ -1,0 +1,66 @@
+"""Tests for the crawl frontier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.frontier import Frontier
+
+
+class TestFrontier:
+    def test_lifo_order(self):
+        frontier = Frontier()
+        frontier.add("http://a.example/1")
+        frontier.add("http://a.example/2")
+        assert frontier.pop() == "http://a.example/2"
+        assert frontier.pop() == "http://a.example/1"
+
+    def test_dedup_exact(self):
+        frontier = Frontier()
+        assert frontier.add("http://a.example/x")
+        assert not frontier.add("http://a.example/x")
+        assert len(frontier) == 1
+
+    def test_dedup_by_normalization(self):
+        frontier = Frontier()
+        frontier.add("http://A.Example/x?b=1&a=2")
+        assert not frontier.add("http://a.example:80/x?a=2&b=1#frag")
+
+    def test_seeds(self):
+        frontier = Frontier(seeds=["http://a.example/", "http://b.example/"])
+        assert len(frontier) == 2
+
+    def test_add_all_counts_fresh(self):
+        frontier = Frontier()
+        added = frontier.add_all(
+            ["http://a.example/1", "http://a.example/1", "http://a.example/2"]
+        )
+        assert added == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Frontier().pop()
+
+    def test_has_seen_persists_after_pop(self):
+        frontier = Frontier()
+        frontier.add("http://a.example/x")
+        frontier.pop()
+        assert frontier.has_seen("http://a.example/x")
+        assert not frontier.add("http://a.example/x")
+
+    def test_bool(self):
+        frontier = Frontier()
+        assert not frontier
+        frontier.add("http://a.example/")
+        assert frontier
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=60))
+    @settings(max_examples=50)
+    def test_property_each_url_popped_at_most_once(self, ids):
+        frontier = Frontier()
+        for i in ids:
+            frontier.add(f"http://h.example/page/{i}")
+        popped = []
+        while frontier:
+            popped.append(frontier.pop())
+        assert len(popped) == len(set(popped)) == len(set(ids))

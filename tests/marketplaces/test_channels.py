@@ -1,0 +1,59 @@
+"""Tests for the Table-9 channel inventory and triage."""
+
+from repro.marketplaces.channels import (
+    CHANNELS,
+    contact_points,
+    monitored_channels,
+    triage,
+    websites,
+)
+from repro.synthetic import calibration as cal
+
+
+class TestInventory:
+    def test_contact_points_match_paper(self):
+        assert len(contact_points()) == cal.CHANNELS_CONTACT_POINTS
+
+    def test_website_count_near_paper(self):
+        # Table 9 lists ~58 sites plus two double-listed marketplace rows.
+        assert abs(len(websites()) - cal.CHANNELS_TOTAL_SITES) <= 3
+
+    def test_names_unique(self):
+        names = [c.name for c in CHANNELS]
+        assert len(names) == len(set(names))
+
+    def test_categories_valid(self):
+        assert {c.category for c in CHANNELS} == {"Public", "Underground", "Contact"}
+
+
+class TestTriage:
+    def test_selection_rule(self):
+        selected = triage(websites())
+        assert all(c.selling and c.handles_public for c in selected)
+
+    def test_twelve_public_rows_become_eleven_marketplaces(self):
+        # accs-market.com and accsmarket.com are two rows of one brand.
+        selected = triage(websites())
+        assert len(selected) == 12
+
+    def test_monitored_includes_underground(self):
+        monitored = monitored_channels()
+        assert any(c.category == "Underground" for c in monitored)
+        assert any(c.category == "Public" for c in monitored)
+
+    def test_non_selling_channels_never_monitored_with_handles(self):
+        for channel in CHANNELS:
+            if not channel.selling:
+                assert not channel.handles_public
+
+    def test_contacts_not_monitored(self):
+        assert all(not c.monitored for c in contact_points())
+
+    def test_underground_monitored_set_matches_section42(self):
+        monitored_underground = {
+            c.name for c in monitored_channels() if c.category == "Underground"
+        }
+        # The six markets analyzed in Section 4.2 (names per Table 9).
+        assert "Nexus Market" in monitored_underground
+        assert "We The North" in monitored_underground
+        assert len(monitored_underground) == 6

@@ -1,0 +1,138 @@
+"""Tests for DBSCAN, k-means, and the scalable density clusterer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.cluster import (
+    DBSCAN,
+    ScalableDensityClusterer,
+    cluster_stats,
+    kmeans,
+)
+
+
+def blobs(rng, centers, n_per, spread=0.1):
+    parts = [
+        rng.normal(loc=center, scale=spread, size=(n_per, len(center)))
+        for center in centers
+    ]
+    return np.vstack(parts)
+
+
+class TestDBSCAN:
+    def test_docstring_example(self):
+        pts = np.array([[0, 0], [0, 0.1], [5, 5], [5, 5.1], [9, 9]])
+        labels = DBSCAN(eps=0.5, min_samples=2).fit_predict(pts).tolist()
+        assert labels == [0, 0, 1, 1, -1]
+
+    def test_finds_three_blobs(self):
+        rng = np.random.default_rng(0)
+        pts = blobs(rng, [(0, 0), (5, 5), (10, 0)], 30)
+        labels = DBSCAN(eps=0.6, min_samples=4).fit_predict(pts)
+        stats = cluster_stats(labels)
+        assert stats.n_clusters == 3
+        assert stats.n_noise == 0
+
+    def test_isolated_points_are_noise(self):
+        pts = np.array([[0.0, 0.0], [100.0, 100.0], [200.0, 0.0]])
+        labels = DBSCAN(eps=1.0, min_samples=2).fit_predict(pts)
+        assert list(labels) == [-1, -1, -1]
+
+    def test_blockwise_equals_whole(self):
+        rng = np.random.default_rng(1)
+        pts = blobs(rng, [(0, 0), (4, 4)], 40)
+        small_blocks = DBSCAN(eps=0.5, min_samples=3, block_size=7).fit_predict(pts)
+        one_block = DBSCAN(eps=0.5, min_samples=3, block_size=10_000).fit_predict(pts)
+        assert np.array_equal(small_blocks, one_block)
+
+    def test_empty_input(self):
+        assert len(DBSCAN(eps=1, min_samples=2).fit_predict(np.empty((0, 3)))) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0, min_samples=1)
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1, min_samples=0)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_labels_are_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(40, 3))
+        labels = DBSCAN(eps=0.8, min_samples=3).fit_predict(pts)
+        assert len(labels) == 40
+        unique = sorted(set(int(l) for l in labels if l >= 0))
+        assert unique == list(range(len(unique)))  # dense labels from 0
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        rng = np.random.default_rng(2)
+        pts = blobs(rng, [(0, 0), (10, 10)], 50)
+        assignments = kmeans(pts, k=2, seed=3)
+        first = set(assignments[:50])
+        second = set(assignments[50:])
+        assert len(first) == 1 and len(second) == 1 and first != second
+
+    def test_k_capped_at_n(self):
+        pts = np.random.default_rng(3).normal(size=(3, 2))
+        assignments = kmeans(pts, k=10)
+        assert len(set(assignments)) <= 3
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(4).normal(size=(60, 4))
+        assert np.array_equal(kmeans(pts, 5, seed=9), kmeans(pts, 5, seed=9))
+
+
+class TestScalableClusterer:
+    def test_recovers_blobs(self):
+        rng = np.random.default_rng(5)
+        pts = blobs(rng, [(0, 0), (6, 6), (12, 0)], 60, spread=0.2)
+        labels = ScalableDensityClusterer(
+            k=12, merge_eps=1.5, min_cluster_size=10, seed=1
+        ).fit_predict(pts)
+        stats = cluster_stats(labels)
+        assert stats.n_clusters == 3
+        # Every blob is pure.
+        for start in (0, 60, 120):
+            block = labels[start : start + 60]
+            assert len(set(block.tolist())) == 1
+
+    def test_small_clusters_demoted_to_noise(self):
+        rng = np.random.default_rng(6)
+        big = rng.normal(loc=0, scale=0.1, size=(50, 2))
+        tiny = rng.normal(loc=10, scale=0.1, size=(3, 2))
+        pts = np.vstack([big, tiny])
+        labels = ScalableDensityClusterer(
+            k=4, merge_eps=1.0, min_cluster_size=10, seed=2
+        ).fit_predict(pts)
+        assert set(labels[50:].tolist()) == {-1}
+
+    def test_merge_joins_split_regions(self):
+        rng = np.random.default_rng(7)
+        # One elongated region k-means would cut in two.
+        line = np.column_stack([np.linspace(0, 3, 120), rng.normal(0, 0.05, 120)])
+        labels = ScalableDensityClusterer(
+            k=6, merge_eps=1.2, min_cluster_size=10, seed=3
+        ).fit_predict(line)
+        assert cluster_stats(labels).n_clusters == 1
+
+    def test_empty_input(self):
+        clusterer = ScalableDensityClusterer()
+        assert len(clusterer.fit_predict(np.empty((0, 4)))) == 0
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(8).normal(size=(200, 8))
+        c = ScalableDensityClusterer(seed=11)
+        assert np.array_equal(c.fit_predict(pts), c.fit_predict(pts))
+
+
+class TestClusterStats:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, -1, 1, 1])
+        stats = cluster_stats(labels)
+        assert stats.n_clusters == 2
+        assert stats.n_noise == 1
+        assert stats.sizes == [3, 2]

@@ -1,0 +1,98 @@
+"""Tests for embeddings and dimensionality reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.embeddings import HashedTfidfEmbedder, cosine_similarity_matrix
+from repro.nlp.reduce import pca_reduce, random_projection
+
+
+class TestEmbedder:
+    def test_rows_are_unit_norm(self):
+        texts = ["crypto trading profit", "follow and subscribe now", ""]
+        matrix = HashedTfidfEmbedder(dims=64).fit_transform(texts)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert norms[0] == pytest.approx(1.0)
+        assert norms[1] == pytest.approx(1.0)
+        assert norms[2] == 0.0  # empty text stays zero
+
+    def test_identical_texts_identical_vectors(self):
+        texts = ["selling aged accounts cheap", "selling aged accounts cheap"]
+        matrix = HashedTfidfEmbedder(dims=64).fit_transform(texts)
+        assert np.allclose(matrix[0], matrix[1])
+
+    def test_similar_texts_closer_than_dissimilar(self):
+        texts = [
+            "guaranteed profit trading bitcoin invest now",
+            "guaranteed profit trading ethereum invest today",
+            "cute puppy playing in the garden this morning",
+        ]
+        matrix = HashedTfidfEmbedder(dims=128).fit_transform(texts)
+        sims = cosine_similarity_matrix(matrix)
+        assert sims[0, 1] > sims[0, 2]
+
+    def test_transform_without_fit_uses_flat_idf(self):
+        embedder = HashedTfidfEmbedder(dims=64)
+        matrix = embedder.transform(["crypto profit now"])
+        assert np.linalg.norm(matrix[0]) == pytest.approx(1.0)
+
+    def test_deterministic_hashing(self):
+        texts = ["one two three"]
+        a = HashedTfidfEmbedder(dims=64).fit_transform(texts)
+        b = HashedTfidfEmbedder(dims=64).fit_transform(texts)
+        assert np.array_equal(a, b)
+
+    def test_dims_validated(self):
+        with pytest.raises(ValueError):
+            HashedTfidfEmbedder(dims=4)
+
+    @given(st.lists(st.text(alphabet="abcdefg ", min_size=1, max_size=40),
+                    min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_property_norms_at_most_one(self, texts):
+        matrix = HashedTfidfEmbedder(dims=32).fit_transform(texts)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+
+class TestReduce:
+    def test_pca_shape(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 20))
+        reduced = pca_reduce(data, 5)
+        assert reduced.shape == (50, 5)
+
+    def test_pca_preserves_dominant_separation(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(loc=0.0, size=(30, 10))
+        b = rng.normal(loc=8.0, size=(30, 10))
+        reduced = pca_reduce(np.vstack([a, b]), 2)
+        da = reduced[:30].mean(axis=0)
+        db = reduced[30:].mean(axis=0)
+        assert np.linalg.norm(da - db) > 5
+
+    def test_pca_caps_components(self):
+        data = np.random.default_rng(2).normal(size=(4, 10))
+        assert pca_reduce(data, 99).shape[1] <= 3
+
+    def test_pca_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pca_reduce(np.zeros(5), 2)
+
+    def test_random_projection_shape_and_determinism(self):
+        data = np.random.default_rng(3).normal(size=(40, 64))
+        a = random_projection(data, 16, seed=7)
+        b = random_projection(data, 16, seed=7)
+        assert a.shape == (40, 16)
+        assert np.array_equal(a, b)
+
+    def test_random_projection_roughly_preserves_distances(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(30, 256))
+        reduced = random_projection(data, 64, seed=1)
+        i, j = 3, 17
+        original = np.linalg.norm(data[i] - data[j])
+        projected = np.linalg.norm(reduced[i] - reduced[j])
+        assert 0.5 * original < projected < 1.7 * original

@@ -1,0 +1,93 @@
+"""Tests for tokenization, stopwords, and language detection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.langdetect import LanguageDetector
+from repro.nlp.stopwords import STOPWORDS, remove_stopwords
+from repro.nlp.tokenize import bigrams, tokenize
+from repro.synthetic.scamtext import ALL_SUBTYPES, benign_post_text, scam_post_text
+from repro.synthetic.vocab import NON_ENGLISH_POSTS
+from repro.util.rng import RngTree
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("HELLO World") == ["hello", "world"]
+
+    def test_urls_removed(self):
+        assert "example" not in tokenize("visit https://scam.example now")
+
+    def test_digits_dropped(self):
+        assert tokenize("win $1,000 today") == ["win", "today"]
+
+    def test_handles_dropped_by_default(self):
+        assert tokenize("DM @fastpayout") == ["dm"]
+
+    def test_handles_kept_when_requested(self):
+        tokens = tokenize("win #crypto now", keep_handles=True)
+        assert "#crypto" in tokens
+
+    def test_bigrams(self):
+        assert bigrams(["a", "b", "c"]) == ["a_b", "b_c"]
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=60)
+    def test_property_tokens_are_lowercase_alpha(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token[0].isalpha()
+
+
+class TestStopwords:
+    def test_removal(self):
+        assert remove_stopwords(["the", "crypto", "is", "profit"]) == ["crypto", "profit"]
+
+    def test_common_words_present(self):
+        for word in ("the", "and", "you", "your", "with"):
+            assert word in STOPWORDS
+
+    def test_content_words_absent(self):
+        for word in ("crypto", "account", "followers"):
+            assert word not in STOPWORDS
+
+
+class TestLanguageDetector:
+    def setup_method(self):
+        self.detector = LanguageDetector()
+
+    def test_english_posts_detected(self):
+        rng = RngTree(9)
+        for i, subtype in enumerate(ALL_SUBTYPES):
+            text = scam_post_text(subtype, rng.child(f"s{i}"))
+            assert self.detector.is_english(text), text
+
+    def test_benign_english_detected(self):
+        rng = RngTree(10).child("b")
+        for _ in range(30):
+            assert self.detector.is_english(benign_post_text(rng))
+
+    def test_non_english_rejected(self):
+        for text in NON_ENGLISH_POSTS:
+            assert not self.detector.is_english(text), text
+
+    def test_specific_languages(self):
+        assert self.detector.detect(
+            "gracias por el apoyo nueva publicacion cada semana para todos"
+        ) == "es"
+        assert self.detector.detect(
+            "vielen dank an alle follower jede woche neue beitraege"
+        ) == "de"
+
+    def test_empty_text_undetermined(self):
+        assert self.detector.detect("") == "und"
+        assert self.detector.detect("12345 !!!") == "und"
+
+    def test_scores_sorted(self):
+        scores = self.detector.scores("thank you all for the support")
+        values = [s for _l, s in scores]
+        assert values == sorted(values, reverse=True)
+
+    def test_languages_listed(self):
+        assert "en" in self.detector.languages
+        assert len(self.detector.languages) >= 5

@@ -1,0 +1,168 @@
+"""Tests for account generation: creation dates, followers, clusters, scam roles."""
+
+from collections import Counter
+
+from repro.synthetic import calibration as cal
+from repro.synthetic.accounts import AccountFactory
+from repro.synthetic.model import Platform
+from repro.synthetic.names import NameForge
+from repro.util.rng import RngTree
+
+
+def factory(seed=3):
+    rng = RngTree(seed).child("accounts")
+    return AccountFactory(rng, NameForge(RngTree(seed).child("names")))
+
+
+class TestCreationDates:
+    def test_tiktok_floor_respected(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.TIKTOK, 300)
+        assert min(a.created.year for a in accounts) >= 2017
+
+    def test_pre2020_share_near_30_percent(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.INSTAGRAM, 1200)
+        share = sum(1 for a in accounts if a.created.year < 2020) / len(accounts)
+        assert 0.24 < share < 0.36
+
+    def test_youtube_old_tail_is_tiny(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.YOUTUBE, 2000)
+        old = sum(1 for a in accounts if 2006 <= a.created.year <= 2010)
+        assert old / len(accounts) < 0.02
+
+    def test_x_never_before_2010(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.X, 500)
+        assert min(a.created.year for a in accounts) >= 2010
+
+
+class TestFollowers:
+    def test_tiktok_mostly_zero(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.TIKTOK, 400)
+        low = sum(1 for a in accounts if a.followers <= 3)
+        assert low / len(accounts) > 0.6
+
+    def test_extremes_pinned(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.X, 50)
+        pmin, _med, pmax = cal.VISIBLE_FOLLOWERS["X"]
+        followers = [a.followers for a in accounts]
+        assert min(followers) == pmin
+        assert max(followers) == pmax
+
+    def test_all_within_bounds(self):
+        f = factory()
+        for platform in (Platform.FACEBOOK, Platform.INSTAGRAM):
+            pmin, _m, pmax = cal.VISIBLE_FOLLOWERS[platform.value]
+            accounts = f.build_platform_population(platform, 200)
+            assert all(pmin <= a.followers <= pmax for a in accounts)
+
+
+class TestIdentityUniqueness:
+    def test_handles_unique_across_platforms(self):
+        f = factory()
+        a = f.build_platform_population(Platform.X, 300)
+        b = f.build_platform_population(Platform.INSTAGRAM, 300)
+        handles = [acc.handle for acc in a + b]
+        assert len(handles) == len(set(handles))
+
+    def test_display_names_unique_outside_clusters(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.YOUTUBE, 500)
+        names = [a.display_name for a in accounts]
+        assert len(names) == len(set(names))
+
+    def test_bios_unique_outside_clusters(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.INSTAGRAM, 500)
+        bios = [a.description for a in accounts]
+        assert len(bios) == len(set(bios))
+
+
+class TestScamRoles:
+    def test_exact_count_assigned(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.X, 200)
+        f.assign_scam_roles(accounts, 40)
+        assert sum(1 for a in accounts if a.is_scammer) == 40
+
+    def test_count_clamped_to_population(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.X, 10)
+        f.assign_scam_roles(accounts, 99)
+        assert sum(1 for a in accounts if a.is_scammer) == 10
+
+    def test_subtypes_come_from_taxonomy(self):
+        from repro.synthetic.scamtext import SUBTYPE_TO_CATEGORY
+
+        f = factory()
+        accounts = f.build_platform_population(Platform.FACEBOOK, 100)
+        f.assign_scam_roles(accounts, 50)
+        for account in accounts:
+            for subtype in account.scam_subtypes:
+                assert subtype in SUBTYPE_TO_CATEGORY
+
+    def test_crypto_is_the_dominant_subtype(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.X, 600)
+        f.assign_scam_roles(accounts, 500)
+        counts = Counter(
+            s for a in accounts for s in a.scam_subtypes
+        )
+        # Crypto (2,352 accounts) and engagement bait (1,509) dominate Table 6.
+        top_two = {name for name, _n in counts.most_common(2)}
+        assert "Crypto Scams" in top_two
+
+
+class TestClusters:
+    def test_cluster_accounts_share_attribute(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.TIKTOK, 120)
+        formed = f.build_clusters(Platform.TIKTOK, accounts, 3, 10, max_size=6)
+        assert formed == 3
+        by_cluster = {}
+        for account in accounts:
+            if account.cluster_id:
+                by_cluster.setdefault(account.cluster_id, []).append(account)
+        for members in by_cluster.values():
+            descriptions = {m.description for m in members}
+            assert len(descriptions) == 1  # TikTok clusters share descriptions
+
+    def test_youtube_clusters_share_names(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.YOUTUBE, 100)
+        f.build_clusters(Platform.YOUTUBE, accounts, 4, 8, max_size=3)
+        by_cluster = {}
+        for account in accounts:
+            if account.cluster_id:
+                by_cluster.setdefault(account.cluster_id, []).append(account)
+        for members in by_cluster.values():
+            assert len({m.display_name for m in members}) == 1
+
+    def test_facebook_clusters_share_email(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.FACEBOOK, 100)
+        f.build_clusters(Platform.FACEBOOK, accounts, 3, 7, max_size=4)
+        by_cluster = {}
+        for account in accounts:
+            if account.cluster_id:
+                by_cluster.setdefault(account.cluster_id, []).append(account)
+        for members in by_cluster.values():
+            assert len({m.email for m in members}) == 1
+
+    def test_sizes_honour_max(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.INSTAGRAM, 200)
+        f.build_clusters(Platform.INSTAGRAM, accounts, 5, 30, max_size=12)
+        sizes = Counter(a.cluster_id for a in accounts if a.cluster_id)
+        assert max(sizes.values()) <= 12
+        assert min(sizes.values()) >= 2
+
+    def test_degenerate_inputs_form_nothing(self):
+        f = factory()
+        accounts = f.build_platform_population(Platform.X, 10)
+        assert f.build_clusters(Platform.X, accounts, 0, 0, max_size=5) == 0
+        assert f.build_clusters(Platform.X, accounts, 5, 3, max_size=5) == 0

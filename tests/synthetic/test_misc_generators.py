@@ -1,0 +1,164 @@
+"""Tests for categories, names, pricing, sellers, and calibration sanity."""
+
+import pytest
+
+from repro.synthetic import calibration as cal
+from repro.synthetic.categories import affiliated_categories, listing_categories
+from repro.synthetic.countries import COUNTRIES
+from repro.synthetic.names import NameForge
+from repro.synthetic.pricing import PriceModel
+from repro.synthetic.sellers import SellerFactory
+from repro.util.rng import RngTree
+from repro.util.stats import median
+
+
+class TestCategories:
+    def test_listing_taxonomy_size_and_head(self):
+        cats = listing_categories()
+        assert len(cats) == cal.LISTING_CATEGORY_COUNT
+        assert cats[:5] == [name for name, _n in cal.LISTING_TOP_CATEGORIES]
+
+    def test_listing_taxonomy_unique(self):
+        cats = listing_categories()
+        assert len(set(cats)) == len(cats)
+
+    def test_affiliated_taxonomy(self):
+        cats = affiliated_categories()
+        assert len(cats) == cal.AFFILIATED_CATEGORY_UNIQUE
+        assert len(set(cats)) == len(cats)
+        assert cats[0] == "Brand and Business"
+
+    def test_small_counts(self):
+        assert listing_categories(3) == ["Humor/Memes", "Luxury/Motivation", "Fashion/Style"]
+
+
+class TestCountries:
+    def test_pool_large_enough(self):
+        assert len(COUNTRIES) >= cal.PROFILE_LOCATION_UNIQUE
+        assert len(set(COUNTRIES)) == len(COUNTRIES)
+
+    def test_heads_present(self):
+        for country in ("United States", "Ethiopia", "Pakistan", "South Korea"):
+            assert country in COUNTRIES
+
+
+class TestNameForge:
+    def test_handles_unique(self):
+        forge = NameForge(RngTree(1).child("n"))
+        handles = [forge.handle() for _ in range(2000)]
+        assert len(set(handles)) == len(handles)
+
+    def test_trend_token_woven_in(self):
+        forge = NameForge(RngTree(2).child("n"))
+        handle = forge.handle(trend="crypto")
+        assert "crypto" in handle
+
+    def test_email_derives_from_handle(self):
+        forge = NameForge(RngTree(3).child("n"))
+        assert "@" in forge.email("some.handle")
+
+    def test_telegram_format(self):
+        forge = NameForge(RngTree(4).child("n"))
+        assert forge.telegram().startswith("t.me/")
+
+
+class TestPriceModel:
+    def test_body_prices_below_threshold(self):
+        model = PriceModel(RngTree(5).child("p"))
+        for _ in range(500):
+            price = model.body_price("YouTube")
+            assert 1 <= price.as_dollars < cal.HIGH_PRICE_THRESHOLD
+
+    def test_high_prices_above_threshold_with_pinned_max(self):
+        model = PriceModel(RngTree(6).child("p"))
+        prices = model.high_prices(50)
+        values = [p.as_dollars for p in prices]
+        assert all(v > cal.HIGH_PRICE_THRESHOLD for v in values)
+        assert max(values) == cal.HIGH_PRICE_MAX
+        assert values[-1] == cal.HIGH_PRICE_MAX
+
+    def test_high_prices_empty(self):
+        assert PriceModel(RngTree(7).child("p")).high_prices(0) == []
+
+    def test_monetization_revenue_in_range(self):
+        model = PriceModel(RngTree(8).child("p"))
+        low, high = cal.MONETIZED_REVENUE_RANGE
+        values = [model.monetization_revenue().as_dollars for _ in range(300)]
+        assert all(low <= v <= high for v in values)
+        assert 60 < median(values) < 260  # paper median $136
+
+
+class TestSellerFactory:
+    def build(self, seed=9):
+        rng = RngTree(seed)
+        return SellerFactory(rng.child("s"), NameForge(rng.child("n")))
+
+    def test_count(self):
+        sellers = self.build().build_market_sellers("FameSwap", 100)
+        assert len(sellers) == 100
+        assert all(s.marketplace == "FameSwap" for s in sellers)
+
+    def test_country_mostly_hidden(self):
+        sellers = self.build().build_market_sellers("Z2U", 1000)
+        disclosed = sum(1 for s in sellers if s.country)
+        assert 0.1 < disclosed / 1000 < 0.4  # paper: ~23% disclose
+
+    def test_us_leads_disclosed_countries(self):
+        from collections import Counter
+
+        sellers = self.build().build_market_sellers("Accsmarket", 4000)
+        counts = Counter(s.country for s in sellers if s.country)
+        assert counts.most_common(1)[0][0] == "United States"
+
+    def test_assignment_covers_all_sellers_when_possible(self):
+        factory = self.build()
+        sellers = factory.build_market_sellers("FameSwap", 50)
+        assignments = factory.assign_listings(sellers, 80)
+        assert len(assignments) == 80
+        assert len(set(assignments)) == 50
+
+    def test_assignment_heavy_tail(self):
+        from collections import Counter
+
+        factory = self.build()
+        sellers = factory.build_market_sellers("Accsmarket", 30)
+        assignments = factory.assign_listings(sellers, 600)
+        counts = Counter(assignments)
+        assert max(counts.values()) > 2 * (600 // 30)
+
+    def test_empty_sellers_give_no_assignments(self):
+        factory = self.build()
+        assert factory.assign_listings([], 10) == []
+
+
+class TestCalibrationSanity:
+    def test_table1_totals(self):
+        assert sum(n for _s, n in cal.MARKETPLACE_TABLE1.values()) == cal.TOTAL_LISTINGS
+        assert sum(s for s, _n in cal.MARKETPLACE_TABLE1.values()) == cal.TOTAL_SELLERS
+
+    def test_table2_totals(self):
+        assert sum(v for v, _p, _a in cal.PLATFORM_TABLE2.values()) == cal.TOTAL_VISIBLE
+        assert sum(p for _v, p, _a in cal.PLATFORM_TABLE2.values()) == cal.TOTAL_POSTS
+        assert sum(a for _v, _p, a in cal.PLATFORM_TABLE2.values()) == cal.TOTAL_LISTINGS
+
+    def test_table5_totals(self):
+        assert sum(a for a, _p in cal.SCAM_TABLE5.values()) == cal.TOTAL_SCAM_ACCOUNTS
+        assert sum(p for _a, p in cal.SCAM_TABLE5.values()) == cal.TOTAL_SCAM_POSTS
+
+    def test_table7_totals(self):
+        clusters = sum(c for _a, c, _n, _m, _md in cal.NETWORK_TABLE7.values())
+        accounts = sum(n for _a, _c, n, _m, _md in cal.NETWORK_TABLE7.values())
+        assert clusters == cal.TOTAL_CLUSTERS
+        assert accounts == cal.TOTAL_CLUSTERED_ACCOUNTS
+
+    def test_underground_totals(self):
+        assert sum(p for p, _s, _pl in cal.UNDERGROUND_MARKETS.values()) \
+            == cal.UNDERGROUND_TOTAL_POSTS
+
+    def test_scaled_keeps_small_counts_alive(self):
+        assert cal.scaled(109, 0.01, minimum=3) == 3
+        assert cal.scaled(0, 0.5) == 0
+        assert cal.scaled(1000, 0.1) == 100
+
+    def test_payment_methods_cover_all_markets(self):
+        assert set(cal.PAYMENT_METHODS) == set(cal.MARKETPLACE_TABLE1)

@@ -1,0 +1,133 @@
+"""Tests for post generation and scam text."""
+
+from collections import Counter
+
+from repro.synthetic.accounts import AccountFactory
+from repro.synthetic.model import Platform
+from repro.synthetic.names import NameForge
+from repro.synthetic.posts import PostFactory
+from repro.synthetic.scamtext import (
+    ALL_SUBTYPES,
+    SCAM_CATEGORY_TREE,
+    SUBTYPE_TO_CATEGORY,
+    VETTING_CODEBOOK,
+    benign_post_text,
+    scam_post_text,
+)
+from repro.util.rng import RngTree
+
+import pytest
+
+
+def population(platform, count, scam, seed=5):
+    rng = RngTree(seed)
+    factory = AccountFactory(rng.child("acc"), NameForge(rng.child("names")))
+    accounts = factory.build_platform_population(platform, count)
+    factory.assign_scam_roles(accounts, scam)
+    return accounts
+
+
+class TestScamText:
+    def test_every_subtype_has_templates(self):
+        for category, subtypes in SCAM_CATEGORY_TREE.items():
+            for subtype in subtypes:
+                assert subtype in ALL_SUBTYPES
+                text = scam_post_text(subtype, RngTree(1).child(subtype))
+                assert len(text.split()) > 5
+
+    def test_all_slots_filled(self):
+        rng = RngTree(2).child("fill")
+        for subtype in ALL_SUBTYPES:
+            for _ in range(10):
+                text = scam_post_text(subtype, rng)
+                assert "{" not in text and "}" not in text
+
+    def test_unknown_subtype_rejected(self):
+        with pytest.raises(KeyError):
+            scam_post_text("Bogus Scam", RngTree(1))
+
+    def test_taxonomy_is_consistent(self):
+        assert set(SUBTYPE_TO_CATEGORY) == set(ALL_SUBTYPES)
+        assert set(VETTING_CODEBOOK) == set(ALL_SUBTYPES)
+
+    def test_benign_text_carries_topic_hashtags(self):
+        text = benign_post_text(RngTree(3).child("benign"))
+        assert "#" in text
+
+
+class TestPostDistribution:
+    def test_post_volume_exact(self):
+        accounts = population(Platform.X, 50, scam=10)
+        PostFactory(RngTree(7).child("posts")).populate_platform(
+            Platform.X, accounts, total_posts=800, scam_posts=200
+        )
+        total = sum(len(a.posts) for a in accounts)
+        assert total == 800
+        scam = sum(1 for a in accounts for p in a.posts if p.is_scam)
+        assert scam == 200
+
+    def test_scam_posts_only_on_scammers(self):
+        accounts = population(Platform.INSTAGRAM, 40, scam=8)
+        PostFactory(RngTree(8).child("posts")).populate_platform(
+            Platform.INSTAGRAM, accounts, total_posts=400, scam_posts=100
+        )
+        for account in accounts:
+            if not account.is_scammer:
+                assert all(not p.is_scam for p in account.posts)
+
+    def test_every_scammer_gets_a_scam_post(self):
+        accounts = population(Platform.FACEBOOK, 30, scam=10)
+        PostFactory(RngTree(9).child("posts")).populate_platform(
+            Platform.FACEBOOK, accounts, total_posts=300, scam_posts=50
+        )
+        for account in accounts:
+            if account.is_scammer:
+                assert any(p.is_scam for p in account.posts)
+
+    def test_scam_posts_match_account_subtypes(self):
+        accounts = population(Platform.X, 30, scam=15)
+        PostFactory(RngTree(10).child("posts")).populate_platform(
+            Platform.X, accounts, total_posts=300, scam_posts=80
+        )
+        for account in accounts:
+            for post in account.posts:
+                if post.is_scam:
+                    assert post.scam_subtype in account.scam_subtypes
+
+    def test_scarce_scam_posts_trim_ground_truth(self):
+        # Fewer scam posts than scammers: roles shrink so truth == output.
+        accounts = population(Platform.TIKTOK, 30, scam=20)
+        PostFactory(RngTree(11).child("posts")).populate_platform(
+            Platform.TIKTOK, accounts, total_posts=100, scam_posts=5
+        )
+        scammers = [a for a in accounts if a.is_scammer]
+        assert len(scammers) == 5
+        assert all(any(p.is_scam for p in a.posts) for a in scammers)
+
+    def test_non_english_fraction_present(self):
+        accounts = population(Platform.X, 20, scam=0)
+        PostFactory(RngTree(12).child("posts")).populate_platform(
+            Platform.X, accounts, total_posts=1000, scam_posts=0
+        )
+        languages = Counter(p.language for a in accounts for p in a.posts)
+        assert 0.03 < languages["other"] / 1000 < 0.15
+
+    def test_post_ids_unique(self):
+        accounts = population(Platform.X, 20, scam=5)
+        PostFactory(RngTree(13).child("posts")).populate_platform(
+            Platform.X, accounts, total_posts=500, scam_posts=50
+        )
+        ids = [p.post_id for a in accounts for p in a.posts]
+        assert len(ids) == len(set(ids))
+
+    def test_zero_posts_is_fine(self):
+        accounts = population(Platform.YOUTUBE, 10, scam=0)
+        PostFactory(RngTree(14).child("posts")).populate_platform(
+            Platform.YOUTUBE, accounts, total_posts=0, scam_posts=0
+        )
+        assert sum(len(a.posts) for a in accounts) == 0
+
+    def test_empty_population_is_fine(self):
+        PostFactory(RngTree(15).child("posts")).populate_platform(
+            Platform.YOUTUBE, [], total_posts=100, scam_posts=10
+        )

@@ -1,0 +1,118 @@
+"""Tests for underground posting generation."""
+
+from collections import Counter
+
+from repro.nlp.similarity import normalized_word_similarity
+from repro.synthetic import calibration as cal
+from repro.synthetic.names import NameForge
+from repro.synthetic.underground import (
+    MARKET_PLATFORM_SPLIT,
+    UndergroundGenerator,
+)
+from repro.util.rng import RngTree
+from repro.util.textutil import words
+
+
+def build(seed=21):
+    rng = RngTree(seed)
+    return UndergroundGenerator(rng.child("ug"), NameForge(rng.child("names"))).build()
+
+
+class TestVolumes:
+    def test_total_posts_is_65(self):
+        assert len(build()) == cal.UNDERGROUND_TOTAL_POSTS
+
+    def test_split_constants_sum_to_totals(self):
+        per_market = {m: sum(v.values()) for m, v in MARKET_PLATFORM_SPLIT.items()}
+        for market, (posts, _sellers, _platforms) in cal.UNDERGROUND_MARKETS.items():
+            assert per_market[market] == posts
+
+    def test_per_market_posts(self):
+        postings = build()
+        counts = Counter(p.market for p in postings)
+        for market, (posts, _s, _p) in cal.UNDERGROUND_MARKETS.items():
+            assert counts[market] == posts
+
+    def test_seller_counts_respected(self):
+        postings = build()
+        by_market = {}
+        for posting in postings:
+            by_market.setdefault(posting.market, set()).add(posting.author)
+        for market, (_posts, sellers, _platforms) in cal.UNDERGROUND_MARKETS.items():
+            assert len(by_market[market]) <= sellers
+
+    def test_we_the_north_is_tiktok_only(self):
+        postings = [p for p in build() if p.market == "We The North"]
+        assert {p.platform.value for p in postings} == {"TikTok"}
+
+    def test_kerberos_is_bulk(self):
+        postings = [p for p in build() if p.market == "Kerberos"]
+        assert sum(p.quantity for p in postings) >= cal.KERBEROS_BULK_ACCOUNTS - 1
+
+    def test_some_posts_lack_dates(self):
+        # "some forums did not display the date when a message was posted"
+        postings = build()
+        assert any(p.date is None for p in postings)
+        assert any(p.date is not None for p in postings)
+
+
+class TestBodies:
+    def test_lengths_within_paper_range(self):
+        postings = build()
+        lengths = [len(words(p.body)) for p in postings]
+        low, high = cal.UNDERGROUND_POST_WORDS
+        assert min(lengths) >= low - 4
+        assert max(lengths) <= high + 10
+
+    def test_non_group_posts_are_not_near_duplicates(self):
+        postings = build()
+        plain = [p for p in postings if p.reuse_group is None]
+        # Sample pairs; none should cross the 88% reuse threshold.
+        violations = 0
+        for i in range(0, min(len(plain), 20)):
+            for j in range(i + 1, min(len(plain), 20)):
+                if normalized_word_similarity(plain[i].body, plain[j].body) >= 0.88:
+                    violations += 1
+        assert violations == 0
+
+
+class TestReuseStructure:
+    def test_tiktok_reuse_count(self):
+        postings = build()
+        tiktok_reused = [
+            p for p in postings
+            if p.platform.value == "TikTok" and p.reuse_group is not None
+        ]
+        assert len(tiktok_reused) == cal.UNDERGROUND_TIKTOK_REUSED
+
+    def test_identical_pair_is_verbatim(self):
+        postings = build()
+        pair = [p for p in postings if p.reuse_group == "tt-identical-pair"]
+        assert len(pair) == 2
+        assert pair[0].body == pair[1].body
+        assert pair[0].author == pair[1].author
+
+    def test_group_similarity_at_or_above_threshold(self):
+        postings = build()
+        groups = {}
+        for posting in postings:
+            if posting.reuse_group:
+                groups.setdefault(posting.reuse_group, []).append(posting)
+        for members in groups.values():
+            base = members[0]
+            for other in members[1:]:
+                sim = normalized_word_similarity(base.body, other.body)
+                assert sim >= 0.85, (base.reuse_group, sim)
+
+    def test_cross_market_sellers_exist(self):
+        postings = build()
+        markets_by_author = {}
+        for posting in postings:
+            markets_by_author.setdefault(posting.author, set()).add(posting.market)
+        cross = [a for a, ms in markets_by_author.items() if len(ms) > 1]
+        assert len(cross) >= cal.UNDERGROUND_CROSS_MARKET_SELLERS
+
+    def test_determinism(self):
+        a = build(seed=33)
+        b = build(seed=33)
+        assert [(p.posting_id, p.body) for p in a] == [(p.posting_id, p.body) for p in b]

@@ -1,0 +1,167 @@
+"""Tests for world generation: determinism and paper calibration.
+
+These tests check the *ground truth* side.  The pipeline's view of the
+same numbers is tested in the analysis/integration suites.
+"""
+
+import pytest
+
+from repro.synthetic import WorldBuilder, WorldConfig, calibration as cal
+from repro.synthetic.model import AccountFate, Platform
+from repro.util.stats import median
+
+from tests.conftest import TEST_SCALE
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = WorldConfig(seed=99, scale=0.02)
+        w1 = WorldBuilder(config).build()
+        w2 = WorldBuilder(config).build()
+        assert sorted(w1.listings) == sorted(w2.listings)
+        l1 = next(iter(w1.listings.values()))
+        l2 = w2.listings[l1.listing_id]
+        assert l1.price == l2.price
+        assert l1.title == l2.title
+        a1 = next(iter(w1.accounts.values()))
+        a2 = w2.accounts[a1.account_id]
+        assert a1.handle == a2.handle
+        assert len(a1.posts) == len(a2.posts)
+
+    def test_different_seeds_differ(self):
+        w1 = WorldBuilder(WorldConfig(seed=1, scale=0.02)).build()
+        w2 = WorldBuilder(WorldConfig(seed=2, scale=0.02)).build()
+        h1 = {a.handle for a in w1.accounts.values()}
+        h2 = {a.handle for a in w2.accounts.values()}
+        assert h1 != h2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WorldConfig(scale=0)
+        with pytest.raises(ValueError):
+            WorldConfig(iterations=0)
+
+
+class TestScaling:
+    def test_listing_count_scales(self, world):
+        expected = sum(
+            cal.scaled(n, TEST_SCALE, minimum=3)
+            for _s, n in cal.MARKETPLACE_TABLE1.values()
+        )
+        assert len(world.listings) == expected
+
+    def test_marketplace_shares_match_table1(self, world):
+        counts = {
+            market: len(world.listings_for_market(market))
+            for market in cal.MARKETPLACE_TABLE1
+        }
+        assert max(counts, key=counts.get) == "Accsmarket"
+        assert min(counts, key=counts.get) == "FameSeller"
+
+    def test_platform_shares_match_table2(self, world):
+        by_platform = {
+            p: len([l for l in world.listings.values() if l.platform is p])
+            for p in Platform
+        }
+        assert max(by_platform, key=by_platform.get) is Platform.INSTAGRAM
+        assert min(by_platform, key=by_platform.get) is Platform.X
+
+    def test_visible_accounts_all_linked_exactly_once(self, world):
+        linked = [
+            l.visible_account_id
+            for l in world.listings.values()
+            if l.visible_account_id
+        ]
+        assert len(linked) == len(set(linked)) == len(world.accounts)
+
+    def test_visible_fraction_near_29_percent(self, world):
+        fraction = len(world.visible_accounts()) / len(world.listings)
+        assert 0.25 < fraction < 0.34
+
+
+class TestCalibratedAttributes:
+    def test_seller_hidden_markets_have_no_sellers(self, world):
+        for market in cal.SELLER_HIDDEN_MARKETS:
+            listings = world.listings_for_market(market)
+            assert listings
+            assert all(l.seller_id is None for l in listings)
+
+    def test_seller_shown_markets_have_sellers(self, world):
+        for listing in world.listings_for_market("Accsmarket"):
+            assert listing.seller_id is not None
+
+    def test_verified_claims_only_youtube_without_profile(self, world):
+        verified = [l for l in world.listings.values() if l.verified_claim]
+        assert verified
+        assert all(l.platform is Platform.YOUTUBE for l in verified)
+        assert all(l.visible_account_id is None for l in verified)
+
+    def test_price_medians_per_platform(self, world):
+        for platform, expected in cal.PRICE_MEDIANS.items():
+            prices = [
+                l.price.as_dollars
+                for l in world.listings.values()
+                if l.platform.value == platform and not l.excluded_outlier
+            ]
+            observed = median(prices)
+            assert expected * 0.5 <= observed <= expected * 2.0, (platform, observed)
+
+    def test_fig3_outlier_exists_on_fameswap(self, world):
+        outliers = [l for l in world.listings.values() if l.excluded_outlier]
+        assert len(outliers) == 1
+        assert outliers[0].marketplace == cal.FIG3_OUTLIER_MARKET
+        assert outliers[0].price.as_dollars == cal.FIG3_OUTLIER_PRICE
+
+    def test_high_price_block_present(self, world):
+        high = [
+            l for l in world.listings.values()
+            if not l.excluded_outlier and l.price.as_dollars > cal.HIGH_PRICE_THRESHOLD
+        ]
+        assert len(high) >= 3
+        assert max(l.price.as_dollars for l in high) == cal.HIGH_PRICE_MAX
+
+    def test_follower_extremes_pinned(self, world):
+        for platform_name, (pmin, _med, pmax) in cal.VISIBLE_FOLLOWERS.items():
+            followers = [
+                a.followers for a in world.accounts_on(Platform.from_name(platform_name))
+            ]
+            assert min(followers) == pmin
+            assert max(followers) == pmax
+
+    def test_moderation_rates_match_table8(self, world):
+        for platform_name, rate in cal.BLOCKING_EFFICACY.items():
+            accounts = world.accounts_on(Platform.from_name(platform_name))
+            inactive = sum(1 for a in accounts if a.fate is not AccountFate.ACTIVE)
+            assert inactive == round(rate * len(accounts))
+
+    def test_underground_always_paper_scale(self, world):
+        assert len(world.underground_postings) == cal.UNDERGROUND_TOTAL_POSTS
+
+    def test_underground_can_be_disabled(self):
+        world = WorldBuilder(
+            WorldConfig(seed=5, scale=0.02, include_underground=False)
+        ).build()
+        assert world.underground_postings == []
+
+
+class TestLifecycles:
+    def test_listing_iterations_are_consistent(self, world):
+        for listing in world.listings.values():
+            assert 0 <= listing.listed_iteration < world.iterations
+            if listing.delisted_iteration is not None:
+                assert listing.delisted_iteration > listing.listed_iteration
+
+    def test_active_at_semantics(self, world):
+        listing = next(
+            l for l in world.listings.values() if l.delisted_iteration is not None
+        )
+        assert not listing.active_at(listing.listed_iteration - 1)
+        assert listing.active_at(listing.listed_iteration)
+        assert not listing.active_at(listing.delisted_iteration)
+
+    def test_posts_have_valid_dates(self, world):
+        from repro.util.simtime import STUDY_END
+
+        for account in world.accounts.values():
+            for post in account.posts[:3]:
+                assert account.created <= post.date <= STUDY_END

@@ -1,0 +1,86 @@
+"""Tests for simulated dates, clock, and the collection calendar."""
+
+import pytest
+
+from repro.util.simtime import (
+    STUDY_END,
+    STUDY_START,
+    CollectionCalendar,
+    SimClock,
+    SimDate,
+)
+
+
+class TestSimDate:
+    def test_ordering(self):
+        assert SimDate.of(2024, 2, 1) < SimDate.of(2024, 6, 30)
+
+    def test_plus_days_crosses_month(self):
+        assert SimDate.of(2024, 2, 28).plus_days(2) == SimDate.of(2024, 3, 1)
+
+    def test_days_until(self):
+        assert SimDate.of(2024, 1, 1).days_until(SimDate.of(2024, 1, 31)) == 30
+
+    def test_roundtrip_iso(self):
+        date = SimDate.of(2021, 12, 5)
+        assert SimDate.parse(date.isoformat()) == date
+
+    def test_invalid_date_rejected(self):
+        with pytest.raises(ValueError):
+            SimDate.of(2024, 2, 30)
+
+    def test_study_window_matches_paper(self):
+        # "From February to June 2024"
+        assert STUDY_START == SimDate.of(2024, 2, 1)
+        assert STUDY_END == SimDate.of(2024, 6, 30)
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == 4.0
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-5)
+
+
+class TestCollectionCalendar:
+    def test_paper_window_has_requested_iterations(self):
+        cal = CollectionCalendar.paper_window(iterations=10)
+        assert len(cal) == 10
+        assert cal[0] == STUDY_START
+        assert cal[-1] == STUDY_END
+
+    def test_dates_are_sorted_and_unique(self):
+        cal = CollectionCalendar.paper_window(iterations=8)
+        assert sorted(cal.dates) == cal.dates
+        assert len(set(cal.dates)) == len(cal.dates)
+
+    def test_single_iteration(self):
+        cal = CollectionCalendar.paper_window(iterations=1)
+        assert list(cal) == [STUDY_START]
+
+    def test_index_on_or_before(self):
+        cal = CollectionCalendar.paper_window(iterations=5)
+        assert cal.index_on_or_before(STUDY_END) == 4
+        assert cal.index_on_or_before(cal[2]) == 2
+
+    def test_index_before_start_raises(self):
+        cal = CollectionCalendar.paper_window(iterations=3)
+        with pytest.raises(ValueError):
+            cal.index_on_or_before(SimDate.of(2024, 1, 1))
+
+    def test_unsorted_dates_rejected(self):
+        with pytest.raises(ValueError):
+            CollectionCalendar([SimDate.of(2024, 3, 1), SimDate.of(2024, 2, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CollectionCalendar([])

@@ -1,0 +1,173 @@
+"""Tests for the polite retrying HTTP client."""
+
+import pytest
+
+from repro.web import http
+from repro.web.client import ClientConfig, HttpClient
+from repro.web.http import RequestRejected, TooManyRedirects
+from repro.web.server import Internet, Site
+
+
+def build_net():
+    net = Internet()
+    site = Site("s.example", clock=net.clock)
+    net.register(site)
+    return net, site
+
+
+class TestBasics:
+    def test_get(self):
+        net, site = build_net()
+        site.route("GET", "/x", lambda r: http.html_response("ok"))
+        response = HttpClient(net).get("http://s.example/x")
+        assert response.ok and response.body == "ok"
+
+    def test_query_params_passed(self):
+        net, site = build_net()
+        seen = {}
+
+        def handler(request):
+            seen.update(request.params)
+            return http.html_response("ok")
+
+        site.route("GET", "/q", handler)
+        HttpClient(net).get("http://s.example/q", page="2")
+        assert seen["page"] == "2"
+
+    def test_post_form(self):
+        net, site = build_net()
+        seen = {}
+
+        def handler(request):
+            seen.update(request.form)
+            return http.html_response("ok")
+
+        site.route("POST", "/submit", handler)
+        HttpClient(net).post("http://s.example/submit", form={"a": "1"})
+        assert seen == {"a": "1"}
+
+    def test_stats_recorded(self):
+        net, site = build_net()
+        site.route("GET", "/x", lambda r: http.html_response("ok"))
+        client = HttpClient(net, ClientConfig(respect_robots=False))
+        client.get("http://s.example/x")
+        client.get("http://s.example/missing")
+        assert client.stats.requests_sent == 2
+        assert client.stats.by_status[200] == 1
+        assert client.stats.by_status[404] == 1
+
+
+class TestRedirects:
+    def test_follows_redirect(self):
+        net, site = build_net()
+        site.route("GET", "/a", lambda r: http.redirect_response("/b"))
+        site.route("GET", "/b", lambda r: http.html_response("there"))
+        response = HttpClient(net).get("http://s.example/a")
+        assert response.body == "there"
+
+    def test_redirect_loop_raises(self):
+        net, site = build_net()
+        site.route("GET", "/loop", lambda r: http.redirect_response("/loop"))
+        with pytest.raises(TooManyRedirects):
+            HttpClient(net).get("http://s.example/loop")
+
+
+class TestRetries:
+    def test_retries_on_503_then_succeeds(self):
+        net, site = build_net()
+        attempts = {"n": 0}
+
+        def flaky(request):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                return http.error_response(http.SERVICE_UNAVAILABLE)
+            return http.html_response("finally")
+
+        site.route("GET", "/flaky", flaky)
+        client = HttpClient(net)
+        response = client.get("http://s.example/flaky")
+        assert response.body == "finally"
+        assert client.stats.retries == 2
+
+    def test_gives_up_after_max_retries(self):
+        net, site = build_net()
+        site.route("GET", "/down", lambda r: http.error_response(http.SERVICE_UNAVAILABLE))
+        client = HttpClient(net, ClientConfig(max_retries=2))
+        response = client.get("http://s.example/down")
+        assert response.status == http.SERVICE_UNAVAILABLE
+        assert client.stats.retries == 2
+
+    def test_backoff_charges_simulated_time(self):
+        net, site = build_net()
+        site.route("GET", "/down", lambda r: http.error_response(http.SERVICE_UNAVAILABLE))
+        client = HttpClient(net, ClientConfig(max_retries=2, backoff_base_seconds=10.0))
+        before = net.clock.now()
+        client.get("http://s.example/down")
+        # Two waits: 10s then 20s, plus latency.
+        assert net.clock.now() - before >= 30.0
+
+    def test_404_is_not_retried(self):
+        net, site = build_net()
+        client = HttpClient(net)
+        client.get("http://s.example/gone")
+        assert client.stats.retries == 0
+
+
+class TestPoliteness:
+    def test_per_host_delay_enforced(self):
+        net, site = build_net()
+        site.route("GET", "/x", lambda r: http.html_response("ok"))
+        client = HttpClient(net, ClientConfig(per_host_delay_seconds=5.0))
+        client.get("http://s.example/x")
+        t1 = net.clock.now()
+        client.get("http://s.example/x")
+        assert net.clock.now() - t1 >= 5.0
+
+
+class TestRobots:
+    def test_disallowed_path_rejected(self):
+        net = Internet()
+        site = Site("r.example", clock=net.clock,
+                    robots_text="User-agent: *\nDisallow: /private\n")
+        site.route("GET", "/private/x", lambda r: http.html_response("secret"))
+        site.route("GET", "/public", lambda r: http.html_response("ok"))
+        net.register(site)
+        client = HttpClient(net)
+        assert client.get("http://r.example/public").ok
+        with pytest.raises(RequestRejected):
+            client.get("http://r.example/private/x")
+        assert client.stats.robots_blocked == 1
+
+    def test_robots_can_be_disabled(self):
+        net = Internet()
+        site = Site("r.example", clock=net.clock,
+                    robots_text="User-agent: *\nDisallow: /private\n")
+        site.route("GET", "/private/x", lambda r: http.html_response("secret"))
+        net.register(site)
+        client = HttpClient(net, ClientConfig(respect_robots=False))
+        assert client.get("http://r.example/private/x").ok
+
+    def test_no_robots_file_allows_everything(self):
+        net, site = build_net()
+        site.route("GET", "/anything", lambda r: http.html_response("ok"))
+        assert HttpClient(net).get("http://s.example/anything").ok
+
+
+class TestCookies:
+    def test_set_cookie_persisted_per_host(self):
+        net, site = build_net()
+
+        def login(request):
+            response = http.html_response("welcome")
+            response.set_cookies["session"] = "tok123"
+            return response
+
+        def check(request):
+            return http.html_response(request.cookies.get("session", "none"))
+
+        site.route("GET", "/login", login)
+        site.route("GET", "/check", check)
+        client = HttpClient(net)
+        client.get("http://s.example/login")
+        assert client.get("http://s.example/check").body == "tok123"
+        assert client.cookies["s.example"]["session"] == "tok123"

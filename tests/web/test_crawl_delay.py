@@ -1,0 +1,51 @@
+"""Tests for robots Crawl-delay integration in the client."""
+
+from repro.web import http
+from repro.web.client import ClientConfig, HttpClient
+from repro.web.server import Internet, Site
+
+
+def build(robots_text):
+    net = Internet()
+    site = Site("cd.example", clock=net.clock, robots_text=robots_text,
+                latency_seconds=0.0)
+    site.route("GET", "/page", lambda r: http.html_response("ok"))
+    net.register(site)
+    return net, site
+
+
+class TestCrawlDelay:
+    def test_crawl_delay_enforced(self):
+        net, _site = build("User-agent: *\nCrawl-delay: 10\nDisallow: /x\n")
+        client = HttpClient(net, ClientConfig(per_host_delay_seconds=0.5))
+        client.get("http://cd.example/page")
+        t1 = net.clock.now()
+        client.get("http://cd.example/page")
+        assert net.clock.now() - t1 >= 10.0
+
+    def test_default_delay_wins_when_larger(self):
+        net, _site = build("User-agent: *\nCrawl-delay: 0.1\nDisallow: /x\n")
+        client = HttpClient(net, ClientConfig(per_host_delay_seconds=5.0))
+        client.get("http://cd.example/page")
+        t1 = net.clock.now()
+        client.get("http://cd.example/page")
+        assert net.clock.now() - t1 >= 5.0
+
+    def test_no_crawl_delay_uses_default(self):
+        net, _site = build("User-agent: *\nDisallow: /x\n")
+        client = HttpClient(net, ClientConfig(per_host_delay_seconds=1.0))
+        client.get("http://cd.example/page")
+        t1 = net.clock.now()
+        client.get("http://cd.example/page")
+        elapsed = net.clock.now() - t1
+        assert 1.0 <= elapsed < 3.0
+
+    def test_ignored_when_robots_disabled(self):
+        net, _site = build("User-agent: *\nCrawl-delay: 50\nDisallow: /x\n")
+        client = HttpClient(
+            net, ClientConfig(per_host_delay_seconds=0.0, respect_robots=False)
+        )
+        client.get("http://cd.example/page")
+        t1 = net.clock.now()
+        client.get("http://cd.example/page")
+        assert net.clock.now() - t1 < 1.0

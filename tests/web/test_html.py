@@ -1,0 +1,93 @@
+"""Tests for the HTML element tree, builder, and renderer."""
+
+from repro.web.html import (
+    E,
+    Element,
+    document,
+    escape_html,
+    render_document,
+    text_of,
+    unescape_html,
+)
+from repro.web.html_parser import parse_html
+
+
+class TestEscaping:
+    def test_escape_all_specials(self):
+        assert escape_html('<a & "b">') == "&lt;a &amp; &quot;b&quot;&gt;"
+
+    def test_unescape_roundtrip(self):
+        text = '<script>alert("x & y")</script>'
+        assert unescape_html(escape_html(text)) == text
+
+
+class TestBuilder:
+    def test_class_keyword(self):
+        el = E.div("hi", class_="offer-card")
+        assert el.has_class("offer-card")
+
+    def test_data_attributes_use_hyphens(self):
+        el = E.li("x", data_prop="platform")
+        assert el.get("data-prop") == "platform"
+
+    def test_children_nest(self):
+        el = E.div(E.a("go", href="/x"))
+        assert el.find("a").get("href") == "/x"
+
+
+class TestQueries:
+    def setup_method(self):
+        self.tree = E.div(
+            E.ul(E.li("one", class_="item"), E.li("two", class_="item special")),
+            E.a("link1", href="/a"),
+            E.a("link2", href="/b", class_="item"),
+        )
+
+    def test_find_all_by_tag(self):
+        assert len(self.tree.find_all("li")) == 2
+
+    def test_find_all_by_class(self):
+        assert len(self.tree.find_all(class_="item")) == 3
+
+    def test_find_all_by_tag_and_class(self):
+        assert len(self.tree.find_all("li", class_="special")) == 1
+
+    def test_find_by_attr(self):
+        assert self.tree.find("a", href="/b").text == "link2"
+
+    def test_find_returns_none_when_absent(self):
+        assert self.tree.find("table") is None
+
+    def test_links(self):
+        assert self.tree.links() == ["/a", "/b"]
+
+    def test_text_concatenates(self):
+        assert "one" in self.tree.text and "link2" in self.tree.text
+
+
+class TestRendering:
+    def test_text_is_escaped(self):
+        el = E.p("<b>bold</b>")
+        assert "&lt;b&gt;" in el.render()
+
+    def test_attrs_are_escaped(self):
+        el = E.a("x", href='/q?a="1"')
+        assert "&quot;" in el.render()
+
+    def test_void_tags_have_no_close(self):
+        markup = E.input(type="text", name="q").render()
+        assert "</input>" not in markup
+
+    def test_roundtrip_through_parser(self):
+        doc = document("T", E.div(E.a("go", href="/x"), class_="c", data_k="v"))
+        parsed = parse_html(render_document(doc))
+        div = parsed.find("div", class_="c")
+        assert div.get("data-k") == "v"
+        assert div.find("a").get("href") == "/x"
+
+    def test_text_of_string_node(self):
+        assert text_of("plain") == "plain"
+
+    def test_pretty_rendering_contains_newlines(self):
+        el = E.div(E.p("x"))
+        assert "\n" in el.render(pretty=True)

@@ -1,0 +1,65 @@
+"""Tests for the tolerant HTML parser."""
+
+from repro.web.html_parser import parse_html
+
+
+class TestBasicParsing:
+    def test_attributes(self):
+        tree = parse_html('<div id="x" class="a b">text</div>')
+        div = tree.find("div")
+        assert div.get("id") == "x"
+        assert div.classes == ["a", "b"]
+
+    def test_nested_structure(self):
+        tree = parse_html("<ul><li><a href='/1'>one</a></li><li>two</li></ul>")
+        assert len(tree.find_all("li")) == 2
+        assert tree.find("a").get("href") == "/1"
+
+    def test_entities_decoded(self):
+        tree = parse_html("<p>a &amp; b &lt;c&gt;</p>")
+        assert tree.find("p").text == "a & b <c>"
+
+    def test_doctype_ignored(self):
+        tree = parse_html("<!DOCTYPE html><html><body><p>x</p></body></html>")
+        assert tree.find("p").text == "x"
+
+    def test_self_closing(self):
+        tree = parse_html('<div><input type="text"/><br></div>')
+        assert tree.find("input").get("type") == "text"
+
+
+class TestTolerance:
+    def test_unclosed_tags_close_at_eof(self):
+        tree = parse_html("<div><p>one<p>two")
+        assert len(tree.find_all("p")) == 2
+
+    def test_implicit_li_close(self):
+        tree = parse_html("<ul><li>a<li>b<li>c</ul>")
+        items = tree.find_all("li")
+        assert [li.text for li in items] == ["a", "b", "c"]
+
+    def test_stray_close_tag_ignored(self):
+        tree = parse_html("<div>x</span></div>")
+        assert tree.find("div").text == "x"
+
+    def test_attribute_without_value(self):
+        tree = parse_html("<input disabled>")
+        assert tree.find("input").get("disabled") == ""
+
+    def test_whitespace_only_text_dropped(self):
+        tree = parse_html("<div>\n   \n<p>x</p></div>")
+        assert tree.find("div").text == "x"
+
+    def test_table_rows(self):
+        tree = parse_html(
+            "<table><tr><th>Price</th><td>$5</td></tr>"
+            "<tr><th>Platform</th><td>X</td></tr></table>"
+        )
+        rows = tree.find_all("tr")
+        assert len(rows) == 2
+        assert rows[0].find("td").text == "$5"
+
+    def test_empty_input(self):
+        tree = parse_html("")
+        assert tree.tag == "document"
+        assert tree.children == []

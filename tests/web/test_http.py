@@ -1,0 +1,73 @@
+"""Tests for the HTTP primitives."""
+
+import pytest
+
+from repro.web import http
+from repro.web.http import Request, Response
+
+
+class TestRequest:
+    def test_method_normalized(self):
+        assert Request(method="get", url="http://h.example/").method == "GET"
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(ValueError):
+            Request(method="DELETE", url="http://h.example/")
+
+    def test_header_lookup_case_insensitive(self):
+        request = Request(method="GET", url="http://h.example/",
+                          headers={"User-Agent": "bot/1.0"})
+        assert request.header("user-agent") == "bot/1.0"
+        assert request.header("X-Missing", "fallback") == "fallback"
+
+
+class TestResponse:
+    def test_ok_range(self):
+        assert Response(status=200).ok
+        assert not Response(status=404).ok
+        assert not Response(status=301).ok
+
+    def test_redirect_requires_location(self):
+        assert Response(status=302, headers={"Location": "/x"}).is_redirect
+        assert not Response(status=302).is_redirect
+        assert not Response(status=200, headers={"Location": "/x"}).is_redirect
+
+    def test_reason_strings(self):
+        assert Response(status=403).reason == "Forbidden"
+        assert Response(status=418).reason == "Unknown"
+
+    def test_raise_for_status(self):
+        assert Response(status=200).raise_for_status().ok
+        with pytest.raises(http.HttpError):
+            Response(status=500, url="http://h.example/x").raise_for_status()
+
+    def test_content_type_default(self):
+        assert Response(status=200).content_type == "text/html"
+        response = Response(status=200, headers={"Content-Type": "application/json"})
+        assert response.content_type == "application/json"
+
+
+class TestConstructors:
+    def test_html_response(self):
+        response = http.html_response("<p>x</p>")
+        assert response.ok
+        assert response.content_type == "text/html"
+
+    def test_json_like_response(self):
+        response = http.json_like_response('{"a": 1}')
+        assert response.content_type == "application/json"
+
+    def test_redirect_response(self):
+        temporary = http.redirect_response("/next")
+        assert temporary.status == http.FOUND
+        permanent = http.redirect_response("/next", permanent=True)
+        assert permanent.status == http.MOVED_PERMANENTLY
+        assert permanent.headers["Location"] == "/next"
+
+    def test_error_response_has_body(self):
+        response = http.error_response(http.NOT_FOUND)
+        assert "404" in response.body
+
+    def test_retryable_codes(self):
+        assert http.TOO_MANY_REQUESTS in http.RETRYABLE_CODES
+        assert http.NOT_FOUND not in http.RETRYABLE_CODES

@@ -1,0 +1,79 @@
+"""Tests for the token bucket."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.simtime import SimClock
+from repro.web.ratelimit import TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(SimClock(), rate_per_second=1, capacity=5)
+        assert bucket.tokens == 5
+
+    def test_take_until_empty(self):
+        bucket = TokenBucket(SimClock(), rate_per_second=1, capacity=2)
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refills_with_time(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate_per_second=2, capacity=2)
+        bucket.try_take(2)
+        assert not bucket.try_take()
+        clock.advance(0.5)  # refills one token
+        assert bucket.try_take()
+
+    def test_never_exceeds_capacity(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate_per_second=10, capacity=3)
+        clock.advance(100)
+        assert bucket.tokens == 3
+
+    def test_delay_until_ready(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate_per_second=1, capacity=1)
+        bucket.try_take()
+        assert bucket.delay_until_ready() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.delay_until_ready() == 0.0
+
+    def test_delay_for_amount_over_capacity_rejected(self):
+        bucket = TokenBucket(SimClock(), rate_per_second=1, capacity=1)
+        with pytest.raises(ValueError):
+            bucket.delay_until_ready(2)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(SimClock(), rate_per_second=0, capacity=1)
+        with pytest.raises(ValueError):
+            TokenBucket(SimClock(), rate_per_second=1, capacity=0)
+        bucket = TokenBucket(SimClock(), rate_per_second=1, capacity=1)
+        with pytest.raises(ValueError):
+            bucket.try_take(0)
+
+    @given(
+        rate=st.floats(min_value=0.1, max_value=100),
+        capacity=st.floats(min_value=1, max_value=50),
+        steps=st.lists(st.floats(min_value=0, max_value=10), max_size=20),
+    )
+    @settings(max_examples=60)
+    def test_property_tokens_bounded(self, rate, capacity, steps):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate_per_second=rate, capacity=capacity)
+        for step in steps:
+            clock.advance(step)
+            bucket.try_take(min(1.0, capacity))
+            assert 0 <= bucket.tokens <= capacity + 1e-9
+
+    @given(rate=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=30)
+    def test_property_waiting_the_reported_delay_suffices(self, rate):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate_per_second=rate, capacity=1)
+        bucket.try_take()
+        clock.advance(bucket.delay_until_ready() + 1e-9)
+        assert bucket.try_take()
