@@ -1,0 +1,48 @@
+"""Micro-benchmark: enabled telemetry must stay within noise of disabled.
+
+The telemetry layer promises to be off-by-default cheap (a handful of
+no-op calls) and cheap enough when enabled that instrumenting the
+pipeline does not distort benchmark numbers.  This bench runs the same
+small study with telemetry disabled and enabled and asserts the enabled
+run stays within 5% wall time (plus a small absolute epsilon so
+sub-second runs aren't judged on scheduler jitter).
+
+Not part of tier-1 (pytest's testpaths only collects ``tests/``); run it
+with ``python -m pytest benchmarks/test_telemetry_overhead.py -q``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Study, StudyConfig
+from repro.obs import Telemetry
+
+BENCH_CONFIG = StudyConfig(seed=2024, scale=0.01, iterations=2)
+REPEATS = 3
+#: Relative overhead budget for enabled telemetry.
+MAX_OVERHEAD = 0.05
+#: Absolute slack (seconds) so sub-second runs aren't flaky.
+EPSILON_SECONDS = 0.05
+
+
+def _best_of(repeats: int, telemetry_factory) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        telemetry = telemetry_factory()
+        start = time.perf_counter()
+        Study(BENCH_CONFIG, telemetry=telemetry).run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_telemetry_overhead_within_noise():
+    # Interleave warmup: one throwaway run so imports/JIT-ish caches are hot.
+    Study(BENCH_CONFIG, telemetry=Telemetry.disabled()).run()
+    disabled = _best_of(REPEATS, Telemetry.disabled)
+    enabled = _best_of(REPEATS, Telemetry)
+    budget = disabled * (1.0 + MAX_OVERHEAD) + EPSILON_SECONDS
+    assert enabled <= budget, (
+        f"telemetry overhead too high: enabled={enabled:.3f}s "
+        f"disabled={disabled:.3f}s budget={budget:.3f}s"
+    )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.dataset import MeasurementDataset, PostRecord
 from repro.nlp.cluster import DBSCAN, ScalableDensityClusterer, cluster_stats
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.nlp.embeddings import HashedTfidfEmbedder
 from repro.nlp.keywords import class_tfidf_keywords
 from repro.nlp.langdetect import LanguageDetector
@@ -176,8 +177,10 @@ class ClusterVetter:
 class ScamPostAnalysis:
     """Runs the full Section-6 pipeline over collected posts."""
 
-    def __init__(self, config: Optional[ScamPipelineConfig] = None) -> None:
+    def __init__(self, config: Optional[ScamPipelineConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or ScamPipelineConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._detector = LanguageDetector()
 
     def run(self, dataset: MeasurementDataset) -> ScamReport:
@@ -185,7 +188,9 @@ class ScamPostAnalysis:
 
     def run_posts(self, posts: Sequence[PostRecord]) -> ScamReport:
         config = self.config
-        english = [p for p in posts if self._detector.is_english(p.text)]
+        tracer = self.telemetry.tracer
+        with tracer.span("nlp.language_filter", n_posts=len(posts)):
+            english = [p for p in posts if self._detector.is_english(p.text)]
         texts = [p.text for p in english]
         if not texts:
             return ScamReport(
@@ -195,16 +200,20 @@ class ScamPostAnalysis:
             )
         labels = self._cluster(texts)
         stats = cluster_stats(labels)
-        keywords = class_tfidf_keywords(texts, labels, top_n=10)
+        with tracer.span("nlp.keywords", n_clusters=stats.n_clusters):
+            keywords = class_tfidf_keywords(texts, labels, top_n=10)
         vetter = ClusterVetter(config)
-        verdicts = vetter.vet(texts, labels, keywords)
+        with tracer.span("nlp.vetting", n_clusters=stats.n_clusters):
+            verdicts = vetter.vet(texts, labels, keywords)
         return self._aggregate(posts, english, labels, verdicts, stats)
 
     # -- clustering -------------------------------------------------------------
 
     def _cluster(self, texts: List[str]) -> np.ndarray:
         config = self.config
-        embedder = HashedTfidfEmbedder(dims=config.embedding_dims)
+        embedder = HashedTfidfEmbedder(
+            dims=config.embedding_dims, telemetry=self.telemetry
+        )
         matrix = embedder.fit_transform(texts).astype(np.float32)
         if len(texts) > config.large_corpus_threshold:
             clusterer = ScalableDensityClusterer(
@@ -214,9 +223,12 @@ class ScamPostAnalysis:
                 seed=config.seed,
                 refine_min=config.refine_min,
                 refine_divisor=config.refine_divisor,
+                telemetry=self.telemetry,
             )
             return clusterer.fit_predict(matrix)
-        dbscan = DBSCAN(eps=config.dbscan_eps, min_samples=config.dbscan_min_samples)
+        dbscan = DBSCAN(eps=config.dbscan_eps,
+                        min_samples=config.dbscan_min_samples,
+                        telemetry=self.telemetry)
         return dbscan.fit_predict(matrix)
 
     # -- aggregation ---------------------------------------------------------------

@@ -11,6 +11,9 @@ Commands
     One-shot: run a study and print the report without saving.
 ``channels``
     Print the Table-9 trading-channel inventory and triage.
+``trace``
+    Summarize a telemetry directory (``--telemetry-out``): per-stage
+    sim/wall durations, events by kind, per-marketplace crawl errors.
 """
 
 from __future__ import annotations
@@ -34,6 +37,14 @@ from repro.analysis.figures import fig3_outlier, fig5_descriptions, listing_dyna
 from repro.core import MeasurementDataset, Study, StudyConfig
 from repro.core import reports
 from repro.marketplaces.channels import CHANNELS
+from repro.obs import (
+    NULL_TELEMETRY,
+    Telemetry,
+    build_manifest,
+    configure_logging,
+    render_trace_summary,
+    write_manifest,
+)
 
 META_FILENAME = "study_meta.json"
 
@@ -44,11 +55,33 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         scale=args.scale,
         iterations=args.iterations,
         include_underground=not args.no_underground,
+        telemetry_enabled=bool(getattr(args, "telemetry_out", None)),
     )
 
 
+def _telemetry_for(args: argparse.Namespace) -> Telemetry:
+    """An enabled Telemetry when ``--telemetry-out`` was given, else no-op."""
+    configure_logging(getattr(args, "log_level", "warning"))
+    if getattr(args, "telemetry_out", None):
+        return Telemetry()
+    return NULL_TELEMETRY
+
+
+def _export_telemetry(args: argparse.Namespace, config: StudyConfig,
+                      result, telemetry: Telemetry) -> None:
+    """Write metrics/trace/events plus the run manifest to the out dir."""
+    out_dir = getattr(args, "telemetry_out", None)
+    if not out_dir or not telemetry.enabled:
+        return
+    telemetry.export(out_dir)
+    manifest = build_manifest(config, result, telemetry, command=sys.argv[1:])
+    write_manifest(out_dir, manifest)
+    print(f"telemetry written to {out_dir}", file=sys.stderr)
+
+
 def _render_all(dataset: MeasurementDataset, scale: float,
-                meta: Optional[dict] = None, out=None) -> None:
+                meta: Optional[dict] = None, out=None,
+                telemetry: Optional[Telemetry] = None) -> None:
     """Render every table and figure the analyses support."""
     stream = out if out is not None else sys.stdout
 
@@ -67,7 +100,9 @@ def _render_all(dataset: MeasurementDataset, scale: float,
     setup = AccountSetupAnalysis().run(dataset)
     write(reports.render_table4(setup))
     write(reports.render_fig4(setup))
-    scam = ScamPostAnalysis(ScamPipelineConfig(dbscan_eps=0.9)).run(dataset)
+    scam = ScamPostAnalysis(
+        ScamPipelineConfig(dbscan_eps=0.9), telemetry=telemetry
+    ).run(dataset)
     write(reports.render_table5(scam, scale))
     write(reports.render_table6(scam, scale))
     network = NetworkAnalysis().run(dataset)
@@ -86,7 +121,9 @@ def _render_all(dataset: MeasurementDataset, scale: float,
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = Study(_study_config(args)).run()
+    config = _study_config(args)
+    telemetry = _telemetry_for(args)
+    result = Study(config, telemetry=telemetry).run()
     os.makedirs(args.out, exist_ok=True)
     result.dataset.save(args.out)
     meta = {
@@ -103,6 +140,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     }
     with open(os.path.join(args.out, META_FILENAME), "w", encoding="utf-8") as handle:
         json.dump(meta, handle, indent=2)
+    _export_telemetry(args, config, result, telemetry)
     print(f"saved run to {args.out}: {result.dataset.summary()}")
     return 0
 
@@ -123,7 +161,9 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    result = Study(_study_config(args)).run()
+    config = _study_config(args)
+    telemetry = _telemetry_for(args)
+    result = Study(config, telemetry=telemetry).run()
     meta = {
         "active_per_iteration": result.active_per_iteration,
         "cumulative_per_iteration": result.cumulative_per_iteration,
@@ -132,12 +172,21 @@ def cmd_tables(args: argparse.Namespace) -> int:
             for market, pairs in result.payment_methods.items()
         },
     }
-    _render_all(result.dataset, args.scale, meta)
+    _render_all(result.dataset, args.scale, meta, telemetry=telemetry)
+    _export_telemetry(args, config, result, telemetry)
     return 0
 
 
 def cmd_channels(_args: argparse.Namespace) -> int:
     print(reports.render_table9(CHANNELS))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.run_dir):
+        print(f"no telemetry directory at {args.run_dir}", file=sys.stderr)
+        return 1
+    print(render_trace_summary(args.run_dir))
     return 0
 
 
@@ -172,6 +221,12 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
                         help="collection iterations (Figure 2)")
     parser.add_argument("--no-underground", action="store_true",
                         help="skip the Tor-forum manual collection")
+    parser.add_argument("--log-level", default="warning",
+                        choices=["debug", "info", "warning", "error"],
+                        help="logging verbosity for the repro logger")
+    parser.add_argument("--telemetry-out", default=None, metavar="DIR",
+                        help="enable telemetry and write manifest.json, "
+                             "metrics.json, trace.jsonl, events.jsonl here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     channels_parser = commands.add_parser("channels", help="print the Table-9 inventory")
     channels_parser.set_defaults(handler=cmd_channels)
+
+    trace_parser = commands.add_parser(
+        "trace", help="summarize a run's telemetry (stages, events, errors)"
+    )
+    trace_parser.add_argument("run_dir", help="directory written by --telemetry-out")
+    trace_parser.set_defaults(handler=cmd_trace)
 
     figures_parser = commands.add_parser(
         "figures", help="export figure series from a saved run as CSV"

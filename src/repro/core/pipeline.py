@@ -28,6 +28,7 @@ from repro.marketplaces.deploy import (
     set_iteration,
 )
 from repro.marketplaces.registry import MARKETPLACES
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.platforms.deploy import deploy_platforms, enable_moderation
 from repro.synthetic.model import World
 from repro.synthetic.world import WorldBuilder, WorldConfig
@@ -47,6 +48,11 @@ class StudyConfig:
     include_underground: bool = True
     #: Politeness spacing between same-host requests (simulated seconds).
     per_host_delay_seconds: float = 0.0
+    #: Record metrics/spans/events during the run.  Off by default so
+    #: benchmark timings are unaffected; the CLI's ``--telemetry-out``
+    #: switches it on.  An explicit ``Telemetry`` passed to
+    #: :class:`Study` overrides this flag.
+    telemetry_enabled: bool = False
 
     def world_config(self) -> WorldConfig:
         return WorldConfig(
@@ -70,14 +76,23 @@ class StudyResult:
     payment_methods: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
     crawl_reports: List[CrawlReport] = field(default_factory=list)
     simulated_seconds: float = 0.0
+    #: The telemetry context the run recorded into (no-op when disabled).
+    telemetry: Telemetry = field(default_factory=Telemetry.disabled)
 
 
 class Study:
     """Builds the world, deploys all sites, and runs modules 1 and 2."""
 
-    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+    def __init__(self, config: Optional[StudyConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or StudyConfig()
         self._rng = RngTree(self.config.seed, name="study")
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif self.config.telemetry_enabled:
+            self.telemetry = Telemetry()
+        else:
+            self.telemetry = NULL_TELEMETRY
 
     # -- module 1: collect marketplaces ------------------------------------
 
@@ -89,21 +104,38 @@ class Study:
     # -- modules 1+2: run -----------------------------------------------------
 
     def run(self) -> StudyResult:
-        world = WorldBuilder(self.config.world_config()).build()
+        telemetry = self.telemetry
+        with telemetry.tracer.span(
+            "study", seed=self.config.seed, scale=self.config.scale
+        ):
+            result = self._run_instrumented(telemetry)
+        return result
+
+    def _run_instrumented(self, telemetry: Telemetry) -> StudyResult:
+        tracer = telemetry.tracer
         internet = Internet()
-        # Collection runs against the pre-ban state of the platforms;
-        # the Section-8 status sweep at the end sees enforcement.
-        platform_sites = deploy_platforms(internet, world, enforce_moderation=False)
-        market_sites = deploy_public_marketplaces(internet, world)
-        underground_sites = (
-            deploy_underground(internet, world, self._rng.child("underground"))
-            if self.config.include_underground
-            else {}
-        )
+        telemetry.set_clock(internet.clock)
+        internet.set_telemetry(telemetry)
+
+        with tracer.span("build_world"):
+            world = WorldBuilder(self.config.world_config()).build()
+        with tracer.span("deploy"):
+            # Collection runs against the pre-ban state of the platforms;
+            # the Section-8 status sweep at the end sees enforcement.
+            platform_sites = deploy_platforms(
+                internet, world, enforce_moderation=False
+            )
+            market_sites = deploy_public_marketplaces(internet, world)
+            underground_sites = (
+                deploy_underground(internet, world, self._rng.child("underground"))
+                if self.config.include_underground
+                else {}
+            )
 
         client = HttpClient(
             internet,
             ClientConfig(per_host_delay_seconds=self.config.per_host_delay_seconds),
+            telemetry=telemetry,
         )
         crawl = IterationCrawl(
             client=client,
@@ -113,25 +145,33 @@ class Study:
             },
             set_iteration=lambda i: set_iteration(market_sites, i),
             iterations=self.config.iterations,
+            telemetry=telemetry,
         )
-        dataset = crawl.run()
+        with tracer.span("iteration_crawl"):
+            dataset = crawl.run()
 
         # Payment pages, once per marketplace (Table 3).
         payments: Dict[str, List[Tuple[str, str]]] = {}
-        for name, spec in MARKETPLACES.items():
-            crawler = MarketplaceCrawler(client, name, f"http://{spec.host}/listings")
-            payments[name] = crawler.collect_payment_methods()
+        with tracer.span("payment_pages"):
+            for name, spec in MARKETPLACES.items():
+                crawler = MarketplaceCrawler(
+                    client, name, f"http://{spec.host}/listings",
+                    telemetry=telemetry,
+                )
+                payments[name] = crawler.collect_payment_methods()
 
         # Profile metadata + timelines for visible accounts, collected
         # while the accounts are still live.
-        collector = ProfileCollector(client)
-        profiles, posts = collector.collect(dataset.listings)
+        collector = ProfileCollector(client, telemetry=telemetry)
+        with tracer.span("profile_collection"):
+            profiles, posts = collector.collect(dataset.listings)
         dataset.profiles = profiles
         dataset.posts = posts
 
         # End-of-study status sweep (Section 8): bans are now visible.
-        enable_moderation(platform_sites)
-        collector.sweep_status(dataset.profiles)
+        with tracer.span("status_sweep"):
+            enable_moderation(platform_sites)
+            collector.sweep_status(dataset.profiles)
 
         # Underground manual-protocol collection.
         if underground_sites:
@@ -139,13 +179,18 @@ class Study:
                 internet,
                 ClientConfig(via_tor=True, per_host_delay_seconds=0.0),
                 client_id="manual-analyst",
+                telemetry=telemetry,
             )
             manual = UndergroundCollector(
                 client=tor_client,
                 solver=HumanSolver(self._rng.child("solver")),
+                telemetry=telemetry,
             )
-            for market, site in underground_sites.items():
-                dataset.underground.extend(manual.collect_market(market, site.host))
+            with tracer.span("underground_collection"):
+                for market, site in underground_sites.items():
+                    dataset.underground.extend(
+                        manual.collect_market(market, site.host)
+                    )
 
         return StudyResult(
             dataset=dataset,
@@ -155,6 +200,7 @@ class Study:
             payment_methods=payments,
             crawl_reports=crawl.reports,
             simulated_seconds=internet.clock.now(),
+            telemetry=telemetry,
         )
 
 

@@ -10,10 +10,15 @@ pages once per marketplace.
 (Feb–Jun 2024 in the paper) and maintains per-offer first/last-seen
 bookkeeping, which is exactly the data behind Figure 2's cumulative vs
 active listing curves.
+
+Nothing fails silently: every anomaly becomes a :class:`CrawlError` on
+the :class:`CrawlReport` (url, kind, detail) and — when telemetry is
+enabled — a structured event carrying marketplace and iteration context.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -26,14 +31,31 @@ from repro.crawler.extractor import (
     extract_seller,
 )
 from repro.crawler.frontier import Frontier
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.web.client import HttpClient
 from repro.web.http import HttpError
 from repro.web.url import join_url, normalize_url, url_host
 
+logger = logging.getLogger("repro.crawler")
+
+
+@dataclass(frozen=True)
+class CrawlError:
+    """One structured crawl failure: what URL, what kind, what detail."""
+
+    url: str
+    #: e.g. ``http_error``, ``http_status``, ``extraction_error``.
+    kind: str
+    detail: str = ""
+
 
 @dataclass
 class CrawlReport:
-    """Counters from one marketplace crawl."""
+    """Counters from one marketplace crawl.
+
+    ``errors`` stays the historical total; ``error_details`` carries the
+    structured record behind each increment.
+    """
 
     marketplace: str
     pages_fetched: int = 0
@@ -41,58 +63,100 @@ class CrawlReport:
     offers_parsed: int = 0
     sellers_fetched: int = 0
     errors: int = 0
+    error_details: List[CrawlError] = field(default_factory=list)
+
+    def record_error(self, url: str, kind: str, detail: str = "") -> CrawlError:
+        error = CrawlError(url=url, kind=kind, detail=detail)
+        self.errors += 1
+        self.error_details.append(error)
+        return error
 
 
 class MarketplaceCrawler:
     """Depth-first crawler for one public marketplace."""
 
-    def __init__(self, client: HttpClient, marketplace: str, seed_url: str) -> None:
+    def __init__(
+        self,
+        client: HttpClient,
+        marketplace: str,
+        seed_url: str,
+        telemetry: Optional[Telemetry] = None,
+        iteration: Optional[int] = None,
+    ) -> None:
         self._client = client
         self.marketplace = marketplace
         self.seed_url = seed_url
+        self.telemetry = telemetry or getattr(client, "telemetry", NULL_TELEMETRY)
+        self.iteration = iteration
         self._seller_cache: Dict[str, SellerRecord] = {}
+
+    def _fail(self, report: CrawlReport, url: str, kind: str,
+              detail: str = "") -> None:
+        """Record one failure in the report, event log, and logger."""
+        report.record_error(url, kind, detail)
+        self.telemetry.events.emit(
+            kind,
+            url=url,
+            marketplace=self.marketplace,
+            iteration=self.iteration,
+            detail=detail,
+        )
+        logger.debug("%s %s on %s: %s", self.marketplace, kind, url, detail)
 
     def crawl(self) -> Tuple[List[ListingRecord], List[SellerRecord], CrawlReport]:
         """Crawl all listing pages and offers; returns records + report."""
         report = CrawlReport(marketplace=self.marketplace)
         listings: List[ListingRecord] = []
-        page_url: Optional[str] = self.seed_url
-        seen_offers = Frontier()
-        while page_url is not None:
-            try:
-                response = self._client.get(page_url)
-            except HttpError:
-                report.errors += 1
-                break
-            report.pages_fetched += 1
-            if not response.ok:
-                break
-            index = extract_listing_index(page_url, response.body)
-            fresh = [u for u in index.offer_urls if seen_offers.add(u)]
-            report.offers_found += len(fresh)
-            for offer_url in fresh:
-                record = self._collect_offer(offer_url, report)
-                if record is not None:
-                    listings.append(record)
-            page_url = index.next_page_url
+        with self.telemetry.tracer.span(
+            "crawl.marketplace",
+            marketplace=self.marketplace,
+            iteration=self.iteration,
+        ):
+            self._crawl_pages(report, listings)
         sellers = list(self._seller_cache.values())
         report.sellers_fetched = len(sellers)
         return listings, sellers, report
 
+    def _crawl_pages(self, report: CrawlReport,
+                     listings: List[ListingRecord]) -> None:
+        page_url: Optional[str] = self.seed_url
+        seen_offers = Frontier()
+        while page_url is not None:
+            with self.telemetry.tracer.span("crawl.page", url=page_url):
+                try:
+                    response = self._client.get(page_url)
+                except HttpError as exc:
+                    self._fail(report, page_url, "http_error",
+                               f"{type(exc).__name__}: {exc}")
+                    break
+                report.pages_fetched += 1
+                if not response.ok:
+                    break
+                index = extract_listing_index(page_url, response.body)
+                fresh = [u for u in index.offer_urls if seen_offers.add(u)]
+                report.offers_found += len(fresh)
+                for offer_url in fresh:
+                    record = self._collect_offer(offer_url, report)
+                    if record is not None:
+                        listings.append(record)
+                page_url = index.next_page_url
+
     def _collect_offer(self, offer_url: str, report: CrawlReport) -> Optional[ListingRecord]:
         try:
             response = self._client.get(offer_url)
-        except HttpError:
-            report.errors += 1
+        except HttpError as exc:
+            self._fail(report, offer_url, "http_error",
+                       f"{type(exc).__name__}: {exc}")
             return None
         report.pages_fetched += 1
         if not response.ok:
-            report.errors += 1
+            self._fail(report, offer_url, "http_status", f"status {response.status}")
             return None
         try:
             record = extract_offer(offer_url, response.body, self.marketplace)
-        except ExtractionError:
-            report.errors += 1
+        except ExtractionError as exc:
+            self._fail(report, offer_url, "extraction_error",
+                       f"{type(exc).__name__}: {exc}")
             return None
         report.offers_parsed += 1
         if record.seller_url:
@@ -105,16 +169,18 @@ class MarketplaceCrawler:
             return
         try:
             response = self._client.get(seller_url)
-        except HttpError:
-            report.errors += 1
+        except HttpError as exc:
+            self._fail(report, seller_url, "http_error",
+                       f"{type(exc).__name__}: {exc}")
             return
         report.pages_fetched += 1
         if not response.ok:
             return
         try:
             record = extract_seller(seller_url, response.body, self.marketplace)
-        except ExtractionError:
-            report.errors += 1
+        except ExtractionError as exc:
+            self._fail(report, seller_url, "extraction_error",
+                       f"{type(exc).__name__}: {exc}")
             return
         self._seller_cache[key] = record
 
@@ -123,7 +189,13 @@ class MarketplaceCrawler:
         payments_url = join_url(self.seed_url, "/payments")
         try:
             response = self._client.get(payments_url)
-        except HttpError:
+        except HttpError as exc:
+            self.telemetry.events.emit(
+                "http_error",
+                url=payments_url,
+                marketplace=self.marketplace,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
             return []
         if not response.ok:
             return []
@@ -147,6 +219,7 @@ class IterationCrawl:
     #: Optional path for persistent crawl state; with it set, a crashed
     #: or restarted crawl resumes from the last completed iteration.
     checkpoint_path: Optional[str] = None
+    telemetry: Optional[Telemetry] = None
     #: offer URL -> (record, first_seen, last_seen)
     _tracker: Dict[str, ListingRecord] = field(default_factory=dict)
     reports: List[CrawlReport] = field(default_factory=list)
@@ -157,6 +230,9 @@ class IterationCrawl:
     def run(self) -> MeasurementDataset:
         from repro.crawler.checkpoints import CrawlCheckpoint
 
+        telemetry = self.telemetry or getattr(
+            self.client, "telemetry", NULL_TELEMETRY
+        )
         dataset = MeasurementDataset()
         sellers_seen: Dict[str, SellerRecord] = {}
         start_iteration = 0
@@ -170,22 +246,30 @@ class IterationCrawl:
         for iteration in range(start_iteration, self.iterations):
             self.set_iteration(iteration)  # type: ignore[operator]
             active_count = 0
-            for marketplace, seed in self.seed_urls.items():
-                crawler = MarketplaceCrawler(self.client, marketplace, seed)
-                listings, sellers, report = crawler.crawl()
-                self.reports.append(report)
-                active_count += len(listings)
-                for record in listings:
-                    key = normalize_url(record.offer_url)
-                    known = self._tracker.get(key)
-                    if known is None:
-                        record.first_seen_iteration = iteration
-                        record.last_seen_iteration = iteration
-                        self._tracker[key] = record
-                    else:
-                        known.last_seen_iteration = iteration
-                for seller in sellers:
-                    sellers_seen.setdefault(normalize_url(seller.seller_url), seller)
+            with telemetry.tracer.span("crawl.iteration", iteration=iteration):
+                for marketplace, seed in self.seed_urls.items():
+                    crawler = MarketplaceCrawler(
+                        self.client, marketplace, seed,
+                        telemetry=telemetry, iteration=iteration,
+                    )
+                    listings, sellers, report = crawler.crawl()
+                    self.reports.append(report)
+                    active_count += len(listings)
+                    for record in listings:
+                        key = normalize_url(record.offer_url)
+                        known = self._tracker.get(key)
+                        if known is None:
+                            record.first_seen_iteration = iteration
+                            record.last_seen_iteration = iteration
+                            self._tracker[key] = record
+                        else:
+                            known.last_seen_iteration = iteration
+                    for seller in sellers:
+                        sellers_seen.setdefault(normalize_url(seller.seller_url), seller)
+            logger.info(
+                "iteration %d: %d active listings, %d cumulative",
+                iteration, active_count, len(self._tracker),
+            )
             self.active_per_iteration.append(active_count)
             self.cumulative_per_iteration.append(len(self._tracker))
             if self.checkpoint_path:
@@ -201,4 +285,4 @@ class IterationCrawl:
         return dataset
 
 
-__all__ = ["CrawlReport", "IterationCrawl", "MarketplaceCrawler"]
+__all__ = ["CrawlError", "CrawlReport", "IterationCrawl", "MarketplaceCrawler"]

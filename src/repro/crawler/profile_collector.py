@@ -9,10 +9,12 @@ the raw material of the Section 8 efficacy analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.dataset import ListingRecord, PostRecord, ProfileRecord
+from repro.crawler.crawler import CrawlError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.platforms.api import (
     ApiStatus,
     parse_profile_payload,
@@ -36,6 +38,13 @@ class CollectionReport:
     profiles_inactive: int = 0
     posts_collected: int = 0
     errors: int = 0
+    error_details: List[CrawlError] = field(default_factory=list)
+
+    def record_error(self, url: str, kind: str, detail: str = "") -> CrawlError:
+        error = CrawlError(url=url, kind=kind, detail=detail)
+        self.errors += 1
+        self.error_details.append(error)
+        return error
 
 
 def platform_of_url(profile_url: str) -> Optional[Platform]:
@@ -51,10 +60,23 @@ def handle_of_url(profile_url: str) -> str:
 class ProfileCollector:
     """Queries platform APIs for all visible accounts in a listing set."""
 
-    def __init__(self, client: HttpClient, timeline_page_size: int = 200) -> None:
+    def __init__(self, client: HttpClient, timeline_page_size: int = 200,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self._client = client
         self.timeline_page_size = timeline_page_size
         self.report = CollectionReport()
+        self.telemetry = telemetry or getattr(client, "telemetry", NULL_TELEMETRY)
+        self._m_profiles = self.telemetry.metrics.counter(
+            "profiles_queried_total", "profile API queries, by outcome",
+            labels=("outcome",),
+        )
+        self._m_posts = self.telemetry.metrics.counter(
+            "timeline_posts_total", "timeline posts collected"
+        )
+
+    def _fail(self, url: str, kind: str, detail: str = "") -> None:
+        self.report.record_error(url, kind, detail)
+        self.telemetry.events.emit(kind, url=url, stage="profiles", detail=detail)
 
     def collect(
         self, listings: Iterable[ListingRecord]
@@ -82,15 +104,17 @@ class ProfileCollector:
         """Collect one profile and its timeline; None on transport failure."""
         platform = platform_of_url(profile_url)
         if platform is None:
-            self.report.errors += 1
+            self._fail(profile_url, "unknown_platform")
+            self._m_profiles.inc(outcome="unknown_platform")
             return None
         handle = handle_of_url(profile_url)
         host = PLATFORM_HOSTS[platform]
         self.report.profiles_queried += 1
         try:
             response = self._client.get(f"http://{host}/api/users/{handle}")
-        except HttpError:
-            self.report.errors += 1
+        except HttpError as exc:
+            self._fail(profile_url, "http_error", f"{type(exc).__name__}: {exc}")
+            self._m_profiles.inc(outcome="error")
             return None
         payload = parse_profile_payload(platform, response)
         record = ProfileRecord(
@@ -101,8 +125,10 @@ class ProfileCollector:
         )
         if payload.status is not ApiStatus.ACTIVE:
             self.report.profiles_inactive += 1
+            self._m_profiles.inc(outcome="inactive")
             return record, []
         self.report.profiles_active += 1
+        self._m_profiles.inc(outcome="active")
         record.account_id = payload.account_id
         record.name = payload.name
         record.description = payload.description
@@ -135,8 +161,9 @@ class ProfileCollector:
                 response = self._client.get(
                     f"http://{host}/api/users/{record.handle}"
                 )
-            except HttpError:
-                self.report.errors += 1
+            except HttpError as exc:
+                self._fail(record.profile_url, "http_error",
+                           f"sweep: {type(exc).__name__}: {exc}")
                 continue
             payload = parse_profile_payload(platform, response)
             record.status = payload.status.value
@@ -157,8 +184,9 @@ class ProfileCollector:
                     limit=str(self.timeline_page_size),
                     offset=str(offset),
                 )
-            except HttpError:
-                self.report.errors += 1
+            except HttpError as exc:
+                self._fail(f"http://{host}/api/users/{handle}/posts",
+                           "http_error", f"{type(exc).__name__}: {exc}")
                 break
             payload = parse_timeline_payload(platform, response)
             if payload.status is not ApiStatus.ACTIVE:
@@ -179,6 +207,7 @@ class ProfileCollector:
             if offset >= payload.total or not payload.posts:
                 break
         self.report.posts_collected += len(posts)
+        self._m_posts.inc(len(posts))
         return posts
 
 

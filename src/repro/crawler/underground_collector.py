@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.dataset import UndergroundRecord
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.crawler.extractor import (
     ExtractionError,
     extract_section_links,
@@ -62,18 +63,34 @@ class UndergroundCollector:
     solver: HumanSolver
     username: str = "survey_reader"
     report: UndergroundReport = field(default_factory=UndergroundReport)
+    telemetry: Optional[Telemetry] = None
+
+    @property
+    def _telemetry(self) -> Telemetry:
+        return self.telemetry or getattr(self.client, "telemetry", NULL_TELEMETRY)
 
     def collect_market(self, market: str, host: str) -> List[UndergroundRecord]:
         """Criterion (i): browse the forum's social-media sections."""
+        with self._telemetry.tracer.span("underground.market", market=market):
+            return self._collect_market(market, host)
+
+    def _collect_market(self, market: str, host: str) -> List[UndergroundRecord]:
         self.report.markets_visited += 1
         if not self._register(host):
             self.report.registrations_failed += 1
+            self._telemetry.events.emit(
+                "registration_failed", market=market, host=host
+            )
             return []
         records: List[UndergroundRecord] = []
         forum_url = f"http://{host}/forum"
         try:
             response = self.client.get(forum_url)
-        except HttpError:
+        except HttpError as exc:
+            self._telemetry.events.emit(
+                "http_error", url=forum_url, marketplace=market,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
             return []
         if not response.ok:
             return []
@@ -105,6 +122,9 @@ class UndergroundCollector:
         self.report.markets_visited += 1
         if not self._register(host):
             self.report.registrations_failed += 1
+            self._telemetry.events.emit(
+                "registration_failed", market=market, host=host
+            )
             return []
         records: List[UndergroundRecord] = []
         seen_urls: set = set()
@@ -187,6 +207,9 @@ class UndergroundCollector:
                 break
             if response.status == 403:
                 self.report.blocked += 1
+                self._telemetry.events.emit(
+                    "forum_blocked", url=page_url, marketplace=market
+                )
                 break
             if not response.ok:
                 break
@@ -212,6 +235,9 @@ class UndergroundCollector:
             return None
         if response.status == 403:
             self.report.blocked += 1
+            self._telemetry.events.emit(
+                "forum_blocked", url=thread_url, marketplace=market
+            )
             return None
         if not response.ok:
             return None
@@ -221,7 +247,11 @@ class UndergroundCollector:
             return extract_underground_posting(
                 thread_url, response.body, market, platform_name
             )
-        except ExtractionError:
+        except ExtractionError as exc:
+            self._telemetry.events.emit(
+                "extraction_error", url=thread_url, marketplace=market,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
             return None
 
 

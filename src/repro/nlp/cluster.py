@@ -18,6 +18,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
 
 def _pairwise_sq_dists(block: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances between block rows and all points."""
@@ -38,7 +40,8 @@ class DBSCAN:
     [0, 0, 1, 1, -1]
     """
 
-    def __init__(self, eps: float, min_samples: int, block_size: int = 512) -> None:
+    def __init__(self, eps: float, min_samples: int, block_size: int = 512,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if eps <= 0:
             raise ValueError("eps must be positive")
         if min_samples < 1:
@@ -46,8 +49,13 @@ class DBSCAN:
         self.eps = eps
         self.min_samples = min_samples
         self.block_size = block_size
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        with self.telemetry.tracer.span("nlp.cluster.dbscan", n=len(points)):
+            return self._fit_predict(points)
+
+    def _fit_predict(self, points: np.ndarray) -> np.ndarray:
         n = len(points)
         if n == 0:
             return np.empty(0, dtype=np.int64)
@@ -184,7 +192,8 @@ class ScalableDensityClusterer:
 
     def __init__(self, k: Optional[int] = None, merge_eps: float = 0.35,
                  min_cluster_size: int = 8, max_k: int = 256, seed: int = 0,
-                 refine_min: Optional[int] = 24, refine_divisor: int = 12) -> None:
+                 refine_min: Optional[int] = 24, refine_divisor: int = 12,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.k = k
         self.merge_eps = merge_eps
         self.min_cluster_size = min_cluster_size
@@ -192,8 +201,13 @@ class ScalableDensityClusterer:
         self.seed = seed
         self.refine_min = refine_min
         self.refine_divisor = refine_divisor
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        with self.telemetry.tracer.span("nlp.cluster.scalable", n=len(points)):
+            return self._fit_predict(points)
+
+    def _fit_predict(self, points: np.ndarray) -> np.ndarray:
         n = len(points)
         if n == 0:
             return np.empty(0, dtype=np.int64)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.nlp.stopwords import remove_stopwords
 from repro.nlp.tokenize import bigrams, tokenize
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 
 def _hash_feature(feature: str, dims: int) -> tuple:
@@ -40,13 +41,15 @@ class HashedTfidfEmbedder:
     """
 
     def __init__(self, dims: int = 256, use_bigrams: bool = True,
-                 keep_handles: bool = True, min_df: int = 1) -> None:
+                 keep_handles: bool = True, min_df: int = 1,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if dims < 8:
             raise ValueError("dims must be at least 8")
         self.dims = dims
         self.use_bigrams = use_bigrams
         self.keep_handles = keep_handles
         self.min_df = min_df
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._idf: Optional[Dict[str, float]] = None
 
     # -- features ------------------------------------------------------------
@@ -62,20 +65,25 @@ class HashedTfidfEmbedder:
 
     def fit(self, texts: Sequence[str]) -> "HashedTfidfEmbedder":
         """Learn IDF weights over a corpus."""
-        doc_freq: Dict[str, int] = {}
-        for text in texts:
-            for feature in set(self.features(text)):
-                doc_freq[feature] = doc_freq.get(feature, 0) + 1
-        n_docs = max(1, len(texts))
-        self._idf = {
-            feature: math.log((1 + n_docs) / (1 + df)) + 1.0
-            for feature, df in doc_freq.items()
-            if df >= self.min_df
-        }
+        with self.telemetry.tracer.span("nlp.embed.fit", n_docs=len(texts)):
+            doc_freq: Dict[str, int] = {}
+            for text in texts:
+                for feature in set(self.features(text)):
+                    doc_freq[feature] = doc_freq.get(feature, 0) + 1
+            n_docs = max(1, len(texts))
+            self._idf = {
+                feature: math.log((1 + n_docs) / (1 + df)) + 1.0
+                for feature, df in doc_freq.items()
+                if df >= self.min_df
+            }
         return self
 
     def transform(self, texts: Sequence[str]) -> np.ndarray:
         """Embed documents; rows are L2-normalized (zero rows stay zero)."""
+        with self.telemetry.tracer.span("nlp.embed.transform", n_docs=len(texts)):
+            return self._transform(texts)
+
+    def _transform(self, texts: Sequence[str]) -> np.ndarray:
         matrix = np.zeros((len(texts), self.dims), dtype=np.float64)
         for row, text in enumerate(texts):
             counts: Dict[str, int] = {}

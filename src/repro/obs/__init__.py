@@ -1,0 +1,71 @@
+"""Observability: metrics, tracing, structured events, run manifests.
+
+The pipeline is a five-month simulated measurement campaign; this
+package makes it inspectable end to end:
+
+* :mod:`repro.obs.metrics` — labeled counters / gauges / histograms
+  with a JSON snapshot (``http_requests_total{host,status}``, ...);
+* :mod:`repro.obs.trace` — nested spans charged to both the simulated
+  clock and wall time, exported as JSONL;
+* :mod:`repro.obs.events` — the structured crawl-anomaly log (JSONL);
+* :mod:`repro.obs.manifest` — the per-run manifest that makes two runs
+  diffable (config, git revision, stage durations, error counts);
+* :mod:`repro.obs.telemetry` — the facade threading all of the above
+  through the pipeline, with a zero-cost disabled mode;
+* :mod:`repro.obs.summary` — rendering for ``repro trace <run-dir>``.
+"""
+
+from repro.obs.events import Event, EventLog, NullEventLog
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    build_manifest,
+    git_describe,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.summary import render_trace_summary
+from repro.obs.telemetry import (
+    EVENTS_FILENAME,
+    METRICS_FILENAME,
+    NULL_TELEMETRY,
+    TRACE_FILENAME,
+    Telemetry,
+    configure_logging,
+)
+from repro.obs.trace import NullTracer, SpanRecord, SpanTracer, stage_summary
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventLog",
+    "EVENTS_FILENAME",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_FILENAME",
+    "METRICS_FILENAME",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullEventLog",
+    "NullRegistry",
+    "NullTracer",
+    "SpanRecord",
+    "SpanTracer",
+    "TRACE_FILENAME",
+    "Telemetry",
+    "build_manifest",
+    "configure_logging",
+    "git_describe",
+    "load_manifest",
+    "render_trace_summary",
+    "stage_summary",
+    "write_manifest",
+]

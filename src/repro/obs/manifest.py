@@ -1,0 +1,115 @@
+"""The run manifest: one JSON file that makes two runs diffable.
+
+Written alongside a study's telemetry export, the manifest records
+everything needed to compare or reproduce a run: the full
+:class:`~repro.core.pipeline.StudyConfig`, the git revision of the code,
+per-stage sim/wall durations, per-marketplace crawl counters (including
+the structured error list), event counts by kind, and the complete
+metric snapshot.
+
+This module is deliberately duck-typed over the config/result objects so
+it has no import edge back into :mod:`repro.core` (which itself imports
+the telemetry facade).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from typing import List, Optional
+
+MANIFEST_FILENAME = "manifest.json"
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+
+
+def git_describe(cwd: Optional[str] = None) -> Optional[str]:
+    """``git describe --always --dirty`` of the working tree, or None."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def _crawl_section(result) -> dict:
+    reports = []
+    errors_total = 0
+    for report in getattr(result, "crawl_reports", []):
+        errors_total += report.errors
+        reports.append({
+            "marketplace": report.marketplace,
+            "pages_fetched": report.pages_fetched,
+            "offers_found": report.offers_found,
+            "offers_parsed": report.offers_parsed,
+            "sellers_fetched": report.sellers_fetched,
+            "errors": report.errors,
+            "error_details": [
+                {"url": e.url, "kind": e.kind, "detail": e.detail}
+                for e in getattr(report, "error_details", [])
+            ],
+        })
+    return {"reports": reports, "errors_total": errors_total}
+
+
+def build_manifest(config, result, telemetry, command: Optional[List[str]] = None) -> dict:
+    """Assemble the manifest dict for one completed study run.
+
+    ``config``/``result`` are a StudyConfig/StudyResult (duck-typed);
+    ``telemetry`` is the :class:`~repro.obs.telemetry.Telemetry` the run
+    recorded into.
+    """
+    config_dict = (
+        dataclasses.asdict(config)
+        if dataclasses.is_dataclass(config) else dict(config)
+    )
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "command": list(command) if command is not None else None,
+        "python": sys.version.split()[0],
+        "git": git_describe(),
+        "config": config_dict,
+        "seed": config_dict.get("seed"),
+        "simulated_seconds": getattr(result, "simulated_seconds", 0.0),
+        "dataset": result.dataset.summary() if getattr(result, "dataset", None) else {},
+        "stages": telemetry.tracer.stage_summary(),
+        "crawl": _crawl_section(result),
+        "events": telemetry.events.counts_by_kind(),
+        "metrics": telemetry.metrics.snapshot(),
+    }
+
+
+def write_manifest(directory: str, manifest: dict) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, MANIFEST_FILENAME)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_manifest(directory: str) -> Optional[dict]:
+    path = os.path.join(directory, MANIFEST_FILENAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "git_describe",
+    "load_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,299 @@
+"""A zero-dependency metrics registry (counters, gauges, histograms).
+
+Modeled after the Prometheus client-library data model, but in-process
+and exportable to plain JSON: metrics are named, carry a fixed tuple of
+label names, and hold one series per distinct label-value combination.
+Histograms use cumulative buckets (each bucket counts observations
+``<= upper_bound``), so exports can be turned into quantile estimates.
+
+Everything here is deterministic: snapshots sort metrics by name and
+series by label values, and no wall-clock state is kept.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0,
+)
+
+
+class MetricError(ValueError):
+    """Bad metric usage: wrong labels, redeclared type, invalid name."""
+
+
+class _Metric:
+    """Base: a named family of series keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"metric {self.name!r} expects labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _series_dicts(self) -> List[dict]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "series": self._series_dicts(),
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def _series_dicts(self) -> List[dict]:
+        return [
+            {"labels": dict(zip(self.label_names, key)), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def _series_dicts(self) -> List[dict]:
+        return [
+            {"labels": dict(zip(self.label_names, key)), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "bucket_counts")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.bucket_counts = [0] * n_buckets
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram of observed values.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; an
+    implicit ``+Inf`` bucket equals ``count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(buckets) if buckets is not None else _DEFAULT_BUCKETS
+        if not bounds or sorted(bounds) != list(bounds):
+            raise MetricError("histogram buckets must be non-empty and ascending")
+        self.buckets: Tuple[float, ...] = bounds
+        self._series: Dict[Tuple[str, ...], _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        series.count += 1
+        series.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[index] += 1
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(self._key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(self._key(labels))
+        return series.sum if series else 0.0
+
+    def bucket_counts(self, **labels: object) -> List[int]:
+        series = self._series.get(self._key(labels))
+        return list(series.bucket_counts) if series else [0] * len(self.buckets)
+
+    def _series_dicts(self) -> List[dict]:
+        return [
+            {
+                "labels": dict(zip(self.label_names, key)),
+                "count": series.count,
+                "sum": series.sum,
+                "buckets": dict(zip(
+                    (str(b) for b in self.buckets), series.bucket_counts
+                )),
+            }
+            for key, series in sorted(self._series.items())
+        ]
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metrics of one telemetry context."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       label_names: Sequence[str], **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if existing.label_names != tuple(label_names):
+                raise MetricError(
+                    f"metric {name!r} already registered with labels "
+                    f"{list(existing.label_names)}"
+                )
+            return existing
+        metric = cls(name, help, label_names, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric, sorted by name."""
+        return {
+            "metrics": [
+                self._metrics[name].to_dict() for name in sorted(self._metrics)
+            ]
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+
+
+class NullMetric:
+    """Accepts every operation and does nothing (disabled telemetry)."""
+
+    def inc(self, *args, **kwargs) -> None:
+        pass
+
+    def dec(self, *args, **kwargs) -> None:
+        pass
+
+    def set(self, *args, **kwargs) -> None:
+        pass
+
+    def observe(self, *args, **kwargs) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0.0
+
+    def total(self) -> float:
+        return 0.0
+
+    def count(self, **labels) -> int:
+        return 0
+
+    def sum(self, **labels) -> float:
+        return 0.0
+
+
+class NullRegistry:
+    """Registry stand-in whose metrics are all the same no-op object."""
+
+    _metric = NullMetric()
+
+    def counter(self, name: str, help: str = "", labels=()) -> NullMetric:
+        return self._metric
+
+    def gauge(self, name: str, help: str = "", labels=()) -> NullMetric:
+        return self._metric
+
+    def histogram(self, name: str, help: str = "", labels=(),
+                  buckets=None) -> NullMetric:
+        return self._metric
+
+    def get(self, name: str) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"metrics": []}
+
+    def write_json(self, path: str) -> None:
+        pass
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NullMetric",
+    "NullRegistry",
+]

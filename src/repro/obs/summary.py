@@ -1,0 +1,119 @@
+"""Rendering for ``repro trace <run-dir>``.
+
+Reads a telemetry directory (manifest.json / trace.jsonl / events.jsonl,
+any subset) and produces the per-stage time-and-error summary table plus
+event and crawl-error breakdowns.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.manifest import load_manifest
+from repro.obs.telemetry import EVENTS_FILENAME, TRACE_FILENAME
+from repro.obs.trace import SpanTracer, stage_summary
+
+
+def _format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _stage_rows(stages: List[dict],
+                errors_by_stage: Optional[Dict[str, int]] = None) -> str:
+    rows = []
+    for stage in stages:
+        name = stage["name"]
+        rows.append([
+            name,
+            f"{stage.get('sim_seconds', 0.0):,.1f}",
+            f"{stage.get('wall_seconds', 0.0):.3f}",
+            str(stage.get("spans", 0)),
+            str((errors_by_stage or {}).get(name, "")),
+        ])
+    return _format_table(
+        ["stage", "sim s", "wall s", "spans", "errors"], rows
+    )
+
+
+def render_trace_summary(directory: str) -> str:
+    """The full ``repro trace`` report for one telemetry directory."""
+    sections: List[str] = []
+    manifest = load_manifest(directory)
+    trace_path = os.path.join(directory, TRACE_FILENAME)
+    events_path = os.path.join(directory, EVENTS_FILENAME)
+
+    stages: List[dict] = []
+    if manifest and manifest.get("stages"):
+        stages = manifest["stages"]
+    elif os.path.exists(trace_path):
+        stages = stage_summary(SpanTracer.load_jsonl(trace_path))
+
+    if manifest:
+        header = [f"run manifest: schema={manifest.get('schema')}"]
+        if manifest.get("git"):
+            header.append(f"git={manifest['git']}")
+        config = manifest.get("config") or {}
+        if config:
+            header.append(
+                "config: " + ", ".join(
+                    f"{key}={config[key]}" for key in sorted(config)
+                )
+            )
+        header.append(
+            f"simulated_seconds={manifest.get('simulated_seconds', 0.0):,.1f}"
+        )
+        sections.append("\n".join(header))
+
+    if stages:
+        sections.append("per-stage summary:\n" + _stage_rows(stages))
+    else:
+        sections.append(f"no trace data found in {directory}")
+
+    events: List = []
+    if os.path.exists(events_path):
+        events = EventLog.load_jsonl(events_path)
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    if not counts and manifest:
+        counts = manifest.get("events", {})
+    if counts:
+        rows = [[kind, str(count)] for kind, count in sorted(counts.items())]
+        sections.append("events by kind:\n" + _format_table(["kind", "count"], rows))
+    else:
+        sections.append("events by kind: none recorded")
+
+    if manifest and manifest.get("crawl", {}).get("reports"):
+        totals: Dict[str, List[int]] = {}
+        for report in manifest["crawl"]["reports"]:
+            row = totals.setdefault(report["marketplace"], [0, 0, 0])
+            row[0] += report["pages_fetched"]
+            row[1] += report["offers_parsed"]
+            row[2] += report["errors"]
+        rows = [
+            [name, str(pages), str(offers), str(errors)]
+            for name, (pages, offers, errors) in totals.items()
+        ]
+        sections.append(
+            "crawl totals (summed over iterations):\n"
+            + _format_table(["marketplace", "pages", "offers", "errors"], rows)
+        )
+
+    return "\n\n".join(sections)
+
+
+__all__ = ["render_trace_summary"]

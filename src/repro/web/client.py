@@ -4,6 +4,12 @@ Implements what the paper's Selenium/CDP stack provided at the transport
 level: sessions (cookies), redirects, retry with exponential backoff on
 retryable statuses, per-host politeness delays, and robots.txt compliance.
 All timing is charged to the simulated clock, so crawls are deterministic.
+
+Every request is observable: the client keeps per-host counters and
+retry/politeness overhead in :class:`ClientStats`, and — when handed a
+:class:`~repro.obs.telemetry.Telemetry` — records
+``http_requests_total{host,status}``, retry/robots counters, a sim-time
+latency histogram, and a span per top-level request.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.web import http
 from repro.web.http import (
     Request,
@@ -41,16 +48,29 @@ class ClientConfig:
 
 @dataclass
 class ClientStats:
-    """Counters for reporting and tests."""
+    """Counters for reporting and tests.
+
+    ``requests_sent``/``retries``/``robots_blocked``/``by_status`` are
+    the original fields; ``by_host`` and the two overhead accumulators
+    make politeness cost measurable per run.
+    """
 
     requests_sent: int = 0
     retries: int = 0
     robots_blocked: int = 0
     by_status: Dict[int, int] = field(default_factory=dict)
+    #: Requests per hostname (includes robots.txt fetches).
+    by_host: Dict[str, int] = field(default_factory=dict)
+    #: Simulated seconds spent waiting in retry backoff.
+    retry_wait_seconds: float = 0.0
+    #: Simulated seconds spent waiting for per-host politeness spacing.
+    politeness_wait_seconds: float = 0.0
 
-    def record(self, status: int) -> None:
+    def record(self, status: int, host: Optional[str] = None) -> None:
         self.requests_sent += 1
         self.by_status[status] = self.by_status.get(status, 0) + 1
+        if host is not None:
+            self.by_host[host] = self.by_host.get(host, 0) + 1
 
 
 class HttpClient:
@@ -61,6 +81,7 @@ class HttpClient:
         internet: Internet,
         config: Optional[ClientConfig] = None,
         client_id: str = "crawler",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._internet = internet
         self.config = config or ClientConfig()
@@ -69,6 +90,33 @@ class HttpClient:
         self.stats = ClientStats()
         self._robots_cache: Dict[str, Optional[RobotsPolicy]] = {}
         self._last_request_at: Dict[str, float] = {}
+        self.telemetry = telemetry or NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._m_requests = metrics.counter(
+            "http_requests_total", "requests sent, by host and status",
+            labels=("host", "status"),
+        )
+        self._m_retries = metrics.counter(
+            "http_retries_total", "retried requests, by host", labels=("host",)
+        )
+        self._m_retry_wait = metrics.counter(
+            "http_retry_wait_seconds_total",
+            "simulated seconds spent in retry backoff", labels=("host",),
+        )
+        self._m_politeness_wait = metrics.counter(
+            "http_politeness_wait_seconds_total",
+            "simulated seconds spent in per-host politeness spacing",
+            labels=("host",),
+        )
+        self._m_robots_blocked = metrics.counter(
+            "robots_blocked_total", "requests rejected by robots.txt",
+            labels=("host",),
+        )
+        self._m_latency = metrics.histogram(
+            "http_request_sim_seconds",
+            "simulated seconds per top-level request (incl. waits)",
+            labels=("host",),
+        )
 
     # -- public API ----------------------------------------------------------
 
@@ -91,6 +139,24 @@ class HttpClient:
         form: Optional[Dict[str, str]] = None,
     ) -> Response:
         """Send a request, following redirects and retrying retryables."""
+        host = url_host(url)
+        sim_start = self._internet.clock.now()
+        with self.telemetry.tracer.span("http.request", method=method, url=url):
+            try:
+                response = self._follow_redirects(method, url, params, form)
+            finally:
+                self._m_latency.observe(
+                    self._internet.clock.now() - sim_start, host=host
+                )
+        return response
+
+    def _follow_redirects(
+        self,
+        method: str,
+        url: str,
+        params: Optional[Dict[str, str]],
+        form: Optional[Dict[str, str]],
+    ) -> Response:
         redirects = 0
         current_url = url
         while True:
@@ -115,14 +181,18 @@ class HttpClient:
     ) -> Response:
         attempt = 0
         backoff = self.config.backoff_base_seconds
+        host = url_host(url)
         while True:
             response = self._send_once(method, url, params, form)
             if response.status not in http.RETRYABLE_CODES or attempt >= self.config.max_retries:
                 return response
             attempt += 1
             self.stats.retries += 1
+            self._m_retries.inc(host=host)
             retry_after = response.header("Retry-After")
             wait = max(float(retry_after) if retry_after else 0.0, backoff)
+            self.stats.retry_wait_seconds += wait
+            self._m_retry_wait.inc(wait, host=host)
             self._internet.clock.advance(wait)
             backoff *= self.config.backoff_multiplier
 
@@ -148,7 +218,8 @@ class HttpClient:
             request, client_id=self.client_id, via_tor=self.config.via_tor
         )
         self._last_request_at[host] = self._internet.clock.now()
-        self.stats.record(response.status)
+        self.stats.record(response.status, host=host)
+        self._m_requests.inc(host=host, status=str(response.status))
         if response.set_cookies:
             jar = self.cookies.setdefault(host, {})
             jar.update(response.set_cookies)
@@ -168,6 +239,8 @@ class HttpClient:
         elapsed = self._internet.clock.now() - last
         remaining = delay - elapsed
         if remaining > 0:
+            self.stats.politeness_wait_seconds += remaining
+            self._m_politeness_wait.inc(remaining, host=host)
             self._internet.clock.advance(remaining)
 
     def _check_robots(self, url: str, host: str) -> None:
@@ -179,6 +252,10 @@ class HttpClient:
         policy = self._robots_policy(host, url)
         if policy is not None and not policy.allows(self.config.user_agent, path):
             self.stats.robots_blocked += 1
+            self._m_robots_blocked.inc(host=host)
+            self.telemetry.events.emit(
+                "robots_blocked", url=url, host=host, path=path
+            )
             raise RequestRejected(f"robots.txt disallows {path} on {host}")
 
     def _robots_policy(self, host: str, any_url: str) -> Optional[RobotsPolicy]:
@@ -194,7 +271,8 @@ class HttpClient:
             response = self._internet.fetch(
                 request, client_id=self.client_id, via_tor=self.config.via_tor
             )
-            self.stats.record(response.status)
+            self.stats.record(response.status, host=host)
+            self._m_requests.inc(host=host, status=str(response.status))
         except http.HttpError:
             self._robots_cache[host] = None
             return None

@@ -158,9 +158,31 @@ class Internet:
     markets are not on the clear web.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    def __init__(self, clock: Optional[SimClock] = None,
+                 telemetry=None) -> None:
         self.clock = clock or SimClock()
         self._sites: Dict[str, Site] = {}
+        #: Server-side accounting: requests served per hostname.
+        self.requests_by_host: Dict[str, int] = {}
+        self._telemetry = telemetry
+        self._m_served = (
+            telemetry.metrics.counter(
+                "server_requests_total",
+                "requests served, by host and status",
+                labels=("host", "status"),
+            )
+            if telemetry is not None else None
+        )
+
+    def set_telemetry(self, telemetry) -> None:
+        """Bind a telemetry context after construction (the pipeline
+        creates the Internet before it knows the run's telemetry)."""
+        self._telemetry = telemetry
+        self._m_served = telemetry.metrics.counter(
+            "server_requests_total",
+            "requests served, by host and status",
+            labels=("host", "status"),
+        )
 
     def register(self, site: Site) -> Site:
         if site.host in self._sites:
@@ -186,7 +208,11 @@ class Internet:
             raise ConnectionFailed(f"{host} is a Tor hidden service; connect via Tor")
         site = self.site(host)
         self.clock.advance(site.latency_seconds)
-        return site.handle(request, client_id=client_id)
+        self.requests_by_host[host] = self.requests_by_host.get(host, 0) + 1
+        response = site.handle(request, client_id=client_id)
+        if self._m_served is not None:
+            self._m_served.inc(host=host, status=str(response.status))
+        return response
 
 
 __all__ = ["Handler", "Internet", "Route", "Site"]

@@ -1,0 +1,67 @@
+"""CLI telemetry flags and the ``repro trace`` subcommand."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def telemetry_dir(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cli-telemetry")
+    run_dir = base / "run"
+    tel_dir = base / "telemetry"
+    code = main([
+        "run", "--scale", "0.01", "--iterations", "2", "--seed", "99",
+        "--out", str(run_dir), "--telemetry-out", str(tel_dir),
+    ])
+    assert code == 0
+    return str(tel_dir)
+
+
+class TestTelemetryOut:
+    def test_all_four_files_written(self, telemetry_dir):
+        for name in ("manifest.json", "metrics.json", "trace.jsonl",
+                     "events.jsonl"):
+            assert os.path.exists(os.path.join(telemetry_dir, name)), name
+
+    def test_manifest_contents(self, telemetry_dir):
+        with open(os.path.join(telemetry_dir, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["schema"] == "repro.run-manifest/v1"
+        assert manifest["seed"] == 99
+        assert manifest["config"]["telemetry_enabled"] is True
+        assert any(s["name"] == "iteration_crawl" for s in manifest["stages"])
+        assert manifest["crawl"]["reports"], "per-marketplace crawl reports"
+
+    def test_trace_jsonl_has_study_root(self, telemetry_dir):
+        with open(os.path.join(telemetry_dir, "trace.jsonl")) as handle:
+            spans = [json.loads(line) for line in handle if line.strip()]
+        assert spans, "spans exported"
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert any(s["name"] == "study" for s in roots)
+
+
+class TestTraceCommand:
+    def test_renders_stage_summary(self, telemetry_dir, capsys):
+        assert main(["trace", telemetry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage summary:" in out
+        assert "iteration_crawl" in out
+        assert "profile_collection" in out
+        assert "crawl totals" in out
+
+    def test_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope")]) == 1
+
+    def test_run_without_telemetry_writes_nothing(self, tmp_path):
+        run_dir = tmp_path / "plain"
+        code = main([
+            "run", "--scale", "0.01", "--iterations", "1", "--seed", "7",
+            "--no-underground", "--out", str(run_dir),
+        ])
+        assert code == 0
+        assert not (tmp_path / "manifest.json").exists()
+        assert not (run_dir / "manifest.json").exists()

@@ -1,0 +1,68 @@
+"""Event log: sim timestamps, kind counting, JSONL round-trip."""
+
+import pytest
+
+from repro.obs.events import EventLog, NullEventLog
+from repro.util.simtime import SimClock
+
+
+class TestEmit:
+    def test_event_carries_context_fields(self):
+        log = EventLog()
+        event = log.emit(
+            "http_error", url="http://z2u.example/offer/1",
+            marketplace="Z2U", iteration=3, detail="ConnectionFailed: down",
+        )
+        assert event.kind == "http_error"
+        assert event.fields["marketplace"] == "Z2U"
+        assert event.fields["iteration"] == 3
+
+    def test_sim_timestamps(self):
+        clock = SimClock()
+        log = EventLog(clock)
+        log.emit("a")
+        clock.advance(42.0)
+        log.emit("b")
+        assert [e.sim_time for e in log.events] == [0.0, 42.0]
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().emit("x", level="fatal")
+
+    def test_counts_by_kind(self):
+        log = EventLog()
+        log.emit("http_error")
+        log.emit("extraction_error")
+        log.emit("http_error")
+        assert log.counts_by_kind() == {"extraction_error": 1, "http_error": 2}
+        assert len(log) == 3
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_load_preserves_everything(self, tmp_path):
+        clock = SimClock()
+        log = EventLog(clock)
+        log.emit("robots_blocked", url="http://a/x", host="a")
+        clock.advance(7.5)
+        log.emit("extraction_error", level="error",
+                 url="http://b/y", marketplace="FameSwap", iteration=1)
+        path = tmp_path / "events.jsonl"
+        log.export_jsonl(str(path))
+        loaded = EventLog.load_jsonl(str(path))
+        assert [(e.kind, e.sim_time, e.level, e.fields) for e in loaded] == \
+               [(e.kind, e.sim_time, e.level, e.fields) for e in log.events]
+
+    def test_empty_log_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        EventLog().export_jsonl(str(path))
+        assert EventLog.load_jsonl(str(path)) == []
+
+
+class TestNullEventLog:
+    def test_noop(self, tmp_path):
+        log = NullEventLog()
+        log.emit("anything", url="u")
+        assert len(log) == 0
+        assert log.counts_by_kind() == {}
+        log.export_jsonl(str(tmp_path / "e.jsonl"))
+        assert not (tmp_path / "e.jsonl").exists()

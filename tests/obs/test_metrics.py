@@ -1,0 +1,141 @@
+"""Metrics registry: labels, counters, gauges, histogram bucketing."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", labels=("host",))
+        counter.inc(host="a.com")
+        counter.inc(2, host="a.com")
+        counter.inc(host="b.com")
+        assert counter.value(host="a.com") == 3
+        assert counter.value(host="b.com") == 1
+        assert counter.total() == 4
+
+    def test_unlabeled(self):
+        counter = MetricsRegistry().counter("events_total")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value() == 6
+
+    def test_missing_label_rejected(self):
+        counter = MetricsRegistry().counter("x", labels=("host", "status"))
+        with pytest.raises(MetricError):
+            counter.inc(host="a.com")
+
+    def test_unknown_label_rejected(self):
+        counter = MetricsRegistry().counter("x", labels=("host",))
+        with pytest.raises(MetricError):
+            counter.inc(host="a.com", status="200")
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_label_values_stringified(self):
+        counter = MetricsRegistry().counter("x", labels=("status",))
+        counter.inc(status=200)
+        assert counter.value(status="200") == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", labels=("host",))
+        b = registry.counter("x", labels=("host",))
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels=("host",))
+        with pytest.raises(MetricError):
+            registry.counter("x", labels=("host", "status"))
+
+    def test_snapshot_sorted_and_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("zz").inc()
+        registry.gauge("aa").set(2.5)
+        snapshot = registry.snapshot()
+        names = [m["name"] for m in snapshot["metrics"]]
+        assert names == sorted(names)
+        json.dumps(snapshot)  # must not raise
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", labels=("host",)).inc(host="a")
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["metrics"][0]["series"] == [
+            {"labels": {"host": "a"}, "value": 1.0}
+        ]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+
+class TestHistogram:
+    def test_cumulative_bucketing(self):
+        histogram = MetricsRegistry().histogram(
+            "latency", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 5
+        assert histogram.sum() == pytest.approx(56.05)
+        # Cumulative: <=0.1 -> 1, <=1.0 -> 3, <=10.0 -> 4; +Inf == count.
+        assert histogram.bucket_counts() == [1, 3, 4]
+
+    def test_boundary_value_counts_in_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts() == [1, 1]
+
+    def test_labeled_series_are_independent(self):
+        histogram = MetricsRegistry().histogram(
+            "h", labels=("host",), buckets=(1.0,)
+        )
+        histogram.observe(0.5, host="a")
+        histogram.observe(0.5, host="a")
+        histogram.observe(0.5, host="b")
+        assert histogram.count(host="a") == 2
+        assert histogram.count(host="b") == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+class TestNullRegistry:
+    def test_everything_is_a_cheap_noop(self):
+        registry = NullRegistry()
+        counter = registry.counter("x", labels=("host",))
+        counter.inc(host="a")  # wrong/any labels accepted silently
+        counter.inc()
+        assert counter.value() == 0.0
+        registry.histogram("h").observe(1.0)
+        assert registry.snapshot() == {"metrics": []}
+        assert registry.counter("y") is counter  # one shared object
