@@ -9,8 +9,8 @@ name tokens are over-represented among blocked accounts.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
 
 from repro.core.dataset import MeasurementDataset, ProfileRecord
 from repro.nlp.tokenize import tokenize
@@ -43,6 +43,9 @@ class EfficacyReport:
     total_inactive: int
     #: token -> (share among inactive names, share among active names).
     trend_token_shares: Dict[str, Tuple[float, float]]
+    #: (platform, handle) pairs judged inactive, for scoring against the
+    #: synthetic world's moderation ground truth (AccountFate).
+    predicted_inactive: Set[Tuple[str, str]] = field(default_factory=set)
 
     @property
     def overall_percent(self) -> float:
@@ -76,10 +79,12 @@ class EfficacyAnalysis:
         active_tokens: Counter = Counter()
         inactive_names = 0
         active_names = 0
+        predicted_inactive: Set[Tuple[str, str]] = set()
         for platform, profiles in sorted(dataset.profiles_by_platform().items()):
             # Only Forbidden / Not Found answers are evidence of action;
             # transport errors ("error") are neither active nor actioned.
             inactive = [p for p in profiles if p.status in ("forbidden", "not_found")]
+            predicted_inactive.update((platform, p.handle) for p in inactive)
             per_platform[platform] = PlatformEfficacy(
                 platform=platform,
                 visible_accounts=len(profiles),
@@ -110,6 +115,7 @@ class EfficacyAnalysis:
             total_visible=total_visible,
             total_inactive=total_inactive,
             trend_token_shares=trend_shares,
+            predicted_inactive=predicted_inactive,
         )
 
 

@@ -83,6 +83,15 @@ class NetworkReport:
         """Figure-5-style exemplar clusters: the largest, by size."""
         return sorted(self.clusters, key=lambda c: (-c.size, c.cluster_id))[:n]
 
+    def membership(self) -> Dict[Tuple[str, str], str]:
+        """(platform, handle) -> predicted cluster id, for scoring
+        against the synthetic world's ground-truth ``cluster_id``."""
+        members: Dict[Tuple[str, str], str] = {}
+        for cluster in self.clusters:
+            for profile in cluster.members:
+                members[(cluster.platform, profile.handle)] = cluster.cluster_id
+        return members
+
 
 def _attribute_value(profile: ProfileRecord, attribute: str) -> Optional[str]:
     value = getattr(profile, attribute, None)

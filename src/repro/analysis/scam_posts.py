@@ -91,10 +91,16 @@ class ScamReport:
     scam_accounts: Set[Tuple[str, str]] = field(default_factory=set)
     #: indices (into the English corpus) of scam posts with their subtype.
     scam_post_subtypes: Dict[int, str] = field(default_factory=dict)
+    #: post_id -> predicted subtype, for scoring against ground truth.
+    scam_post_ids: Dict[str, str] = field(default_factory=dict)
 
     @property
     def scam_clusters(self) -> int:
         return sum(1 for v in self.verdicts if v.is_scam)
+
+    def predicted_accounts(self) -> Set[Tuple[str, str]]:
+        """The (platform, handle) pairs the pipeline labelled as scam."""
+        return set(self.scam_accounts)
 
 
 class ClusterVetter:
@@ -245,6 +251,7 @@ class ScamPostAnalysis:
         scam_posts_by_platform: Counter = Counter()
         scam_accounts: Set[Tuple[str, str]] = set()
         scam_post_subtypes: Dict[int, str] = {}
+        scam_post_ids: Dict[str, str] = {}
         subtype_posts: Counter = Counter()
         subtype_accounts: Dict[str, Set[Tuple[str, str]]] = {}
         for index, (post, label) in enumerate(zip(english, labels)):
@@ -255,6 +262,7 @@ class ScamPostAnalysis:
             scam_posts_by_platform[post.platform] += 1
             scam_accounts.add(key)
             scam_post_subtypes[index] = subtype
+            scam_post_ids[post.post_id] = subtype
             subtype_posts[subtype] += 1
             subtype_accounts.setdefault(subtype, set()).add(key)
         accounts_by_platform: Counter = Counter()
@@ -288,6 +296,7 @@ class ScamPostAnalysis:
             total_scam_posts=sum(scam_posts_by_platform.values()),
             scam_accounts=scam_accounts,
             scam_post_subtypes=scam_post_subtypes,
+            scam_post_ids=scam_post_ids,
         )
 
 

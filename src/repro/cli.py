@@ -14,6 +14,15 @@ Commands
 ``trace``
     Summarize a telemetry directory (``--telemetry-out``): per-stage
     sim/wall durations, events by kind, per-marketplace crawl errors.
+``diff``
+    Compare two telemetry directories and exit nonzero on regressions
+    (scorecard drops, new error kinds, coverage losses, sim slowdowns).
+``health``
+    Render a telemetry directory as a single-file HTML dashboard;
+    ``--strict`` fails the command when the run looks unhealthy.
+
+Telemetry-reading commands (``trace``/``diff``/``health``) exit with
+code 2 when a directory is missing, empty, or corrupt.
 """
 
 from __future__ import annotations
@@ -39,12 +48,20 @@ from repro.core import reports
 from repro.marketplaces.channels import CHANNELS
 from repro.obs import (
     NULL_TELEMETRY,
+    DiffConfig,
+    RunDir,
     Telemetry,
+    TelemetryDirError,
     build_manifest,
     configure_logging,
+    diff_runs,
+    health_status,
+    render_health_html,
     render_trace_summary,
     write_manifest,
+    write_scorecard,
 )
+from repro.obs.report_html import REPORT_FILENAME
 
 META_FILENAME = "study_meta.json"
 
@@ -74,6 +91,8 @@ def _export_telemetry(args: argparse.Namespace, config: StudyConfig,
     if not out_dir or not telemetry.enabled:
         return
     telemetry.export(out_dir)
+    if getattr(result, "scorecard", None) is not None:
+        write_scorecard(out_dir, result.scorecard)
     manifest = build_manifest(config, result, telemetry, command=sys.argv[1:])
     write_manifest(out_dir, manifest)
     print(f"telemetry written to {out_dir}", file=sys.stderr)
@@ -183,10 +202,45 @@ def cmd_channels(_args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    if not os.path.isdir(args.run_dir):
-        print(f"no telemetry directory at {args.run_dir}", file=sys.stderr)
+    try:
+        run = RunDir.load(args.run_dir)
+    except TelemetryDirError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_trace_summary(run))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        run_a = RunDir.load(args.run_a)
+        run_b = RunDir.load(args.run_b)
+    except TelemetryDirError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = DiffConfig(
+        scorecard_tolerance=args.scorecard_tolerance,
+        sim_duration_tolerance=args.sim_tolerance,
+        include_wall=args.wall,
+    )
+    diff = diff_runs(run_a, run_b, config)
+    print(diff.render_text())
+    return 1 if diff.has_regressions else 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    try:
+        run = RunDir.load(args.run_dir)
+    except TelemetryDirError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    out_path = args.out or os.path.join(args.run_dir, REPORT_FILENAME)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(render_health_html(run))
+    healthy = health_status(run)
+    print(f"wrote {out_path} ({'healthy' if healthy else 'UNHEALTHY'})")
+    if args.strict and not healthy:
         return 1
-    print(render_trace_summary(args.run_dir))
     return 0
 
 
@@ -259,6 +313,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("run_dir", help="directory written by --telemetry-out")
     trace_parser.set_defaults(handler=cmd_trace)
+
+    diff_parser = commands.add_parser(
+        "diff", help="compare two telemetry dirs; exit 1 on regressions"
+    )
+    diff_parser.add_argument("run_a", help="baseline telemetry directory")
+    diff_parser.add_argument("run_b", help="new telemetry directory")
+    diff_parser.add_argument("--scorecard-tolerance", type=float, default=0.02,
+                             help="allowed drop in a scorecard value")
+    diff_parser.add_argument("--sim-tolerance", type=float, default=0.25,
+                             help="allowed relative growth in per-stage sim time")
+    diff_parser.add_argument("--wall", action="store_true",
+                             help="also print (machine-dependent) wall ratios")
+    diff_parser.set_defaults(handler=cmd_diff)
+
+    health_parser = commands.add_parser(
+        "health", help="render a telemetry dir as an HTML health dashboard"
+    )
+    health_parser.add_argument("run_dir", help="directory written by --telemetry-out")
+    health_parser.add_argument("--out", default=None,
+                               help="output HTML path (default: RUN_DIR/health.html)")
+    health_parser.add_argument("--strict", action="store_true",
+                               help="exit 1 when the scorecard failed or the "
+                                    "watchdog found critical issues")
+    health_parser.set_defaults(handler=cmd_health)
 
     figures_parser = commands.add_parser(
         "figures", help="export figure series from a saved run as CSV"

@@ -28,7 +28,9 @@ from repro.marketplaces.deploy import (
     set_iteration,
 )
 from repro.marketplaces.registry import MARKETPLACES
+from repro.obs.quality import Scorecard, compute_scorecard
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.watchdog import CrawlWatchdog
 from repro.platforms.deploy import deploy_platforms, enable_moderation
 from repro.synthetic.model import World
 from repro.synthetic.world import WorldBuilder, WorldConfig
@@ -53,6 +55,14 @@ class StudyConfig:
     #: switches it on.  An explicit ``Telemetry`` passed to
     #: :class:`Study` overrides this flag.
     telemetry_enabled: bool = False
+    #: Run the crawl-health watchdogs (coverage, error rates, stalls).
+    #: Cheap counter arithmetic; on by default, active only when
+    #: telemetry is recording.
+    watchdogs_enabled: bool = True
+    #: Compute the fidelity scorecard at the end of the run.  This
+    #: re-runs the analysis stages (including the NLP pipeline), so
+    #: benchmarks that time the crawl alone should turn it off.
+    scorecard_enabled: bool = True
 
     def world_config(self) -> WorldConfig:
         return WorldConfig(
@@ -78,6 +88,10 @@ class StudyResult:
     simulated_seconds: float = 0.0
     #: The telemetry context the run recorded into (no-op when disabled).
     telemetry: Telemetry = field(default_factory=Telemetry.disabled)
+    #: The crawl-health watchdog that ran (None when disabled).
+    watchdog: Optional[CrawlWatchdog] = None
+    #: End-of-run fidelity scorecard (None when disabled).
+    scorecard: Optional[Scorecard] = None
 
 
 class Study:
@@ -137,6 +151,16 @@ class Study:
             ClientConfig(per_host_delay_seconds=self.config.per_host_delay_seconds),
             telemetry=telemetry,
         )
+        watchdog: Optional[CrawlWatchdog] = None
+        if telemetry.enabled and self.config.watchdogs_enabled:
+            watchdog = CrawlWatchdog(
+                telemetry=telemetry,
+                clock=internet.clock,
+                expected_counts=lambda: {
+                    name: len(site.active_listings())
+                    for name, site in market_sites.items()
+                },
+            )
         crawl = IterationCrawl(
             client=client,
             seed_urls={
@@ -146,9 +170,12 @@ class Study:
             set_iteration=lambda i: set_iteration(market_sites, i),
             iterations=self.config.iterations,
             telemetry=telemetry,
+            watchdog=watchdog,
         )
         with tracer.span("iteration_crawl"):
             dataset = crawl.run()
+        if watchdog is not None:
+            watchdog.finish()
 
         # Payment pages, once per marketplace (Table 3).
         payments: Dict[str, List[Tuple[str, str]]] = {}
@@ -192,7 +219,7 @@ class Study:
                         manual.collect_market(market, site.host)
                     )
 
-        return StudyResult(
+        result = StudyResult(
             dataset=dataset,
             world=world,
             active_per_iteration=crawl.active_per_iteration,
@@ -201,7 +228,15 @@ class Study:
             crawl_reports=crawl.reports,
             simulated_seconds=internet.clock.now(),
             telemetry=telemetry,
+            watchdog=watchdog,
         )
+        # Fidelity scorecard: score the collected dataset against the
+        # world's ground truth and the paper-shape targets (§quality).
+        if telemetry.enabled and self.config.scorecard_enabled:
+            with tracer.span("scorecard"):
+                result.scorecard = compute_scorecard(result)
+            result.scorecard.register_gauges(telemetry.metrics)
+        return result
 
 
 __all__ = ["Study", "StudyConfig", "StudyResult"]

@@ -115,7 +115,24 @@ class MarketplaceCrawler:
             self._crawl_pages(report, listings)
         sellers = list(self._seller_cache.values())
         report.sellers_fetched = len(sellers)
+        self._record_metrics(report)
         return listings, sellers, report
+
+    def _record_metrics(self, report: CrawlReport) -> None:
+        """Mirror the report counters into per-marketplace metrics, so
+        the watchdog and ``repro diff`` can audit coverage."""
+        metrics = self.telemetry.metrics
+        for name, value in (
+            ("crawl_pages_fetched_total", report.pages_fetched),
+            ("crawl_offers_found_total", report.offers_found),
+            ("crawl_offers_parsed_total", report.offers_parsed),
+            ("crawl_errors_total", report.errors),
+        ):
+            if value:
+                metrics.counter(
+                    name, "crawl counter, by marketplace",
+                    labels=("marketplace",),
+                ).inc(value, marketplace=self.marketplace)
 
     def _crawl_pages(self, report: CrawlReport,
                      listings: List[ListingRecord]) -> None:
@@ -220,6 +237,9 @@ class IterationCrawl:
     #: or restarted crawl resumes from the last completed iteration.
     checkpoint_path: Optional[str] = None
     telemetry: Optional[Telemetry] = None
+    #: Optional :class:`~repro.obs.watchdog.CrawlWatchdog`; when set, it
+    #: audits every iteration (coverage, error rates, stalls) in-flight.
+    watchdog: Optional[object] = None
     #: offer URL -> (record, first_seen, last_seen)
     _tracker: Dict[str, ListingRecord] = field(default_factory=dict)
     reports: List[CrawlReport] = field(default_factory=list)
@@ -245,6 +265,9 @@ class IterationCrawl:
             sellers_seen.update(checkpoint.sellers)
         for iteration in range(start_iteration, self.iterations):
             self.set_iteration(iteration)  # type: ignore[operator]
+            if self.watchdog is not None:
+                self.watchdog.begin_iteration(iteration)
+            iteration_reports: List[CrawlReport] = []
             active_count = 0
             with telemetry.tracer.span("crawl.iteration", iteration=iteration):
                 for marketplace, seed in self.seed_urls.items():
@@ -254,6 +277,7 @@ class IterationCrawl:
                     )
                     listings, sellers, report = crawler.crawl()
                     self.reports.append(report)
+                    iteration_reports.append(report)
                     active_count += len(listings)
                     for record in listings:
                         key = normalize_url(record.offer_url)
@@ -266,6 +290,8 @@ class IterationCrawl:
                             known.last_seen_iteration = iteration
                     for seller in sellers:
                         sellers_seen.setdefault(normalize_url(seller.seller_url), seller)
+            if self.watchdog is not None:
+                self.watchdog.end_iteration(iteration, iteration_reports)
             logger.info(
                 "iteration %d: %d active listings, %d cumulative",
                 iteration, active_count, len(self._tracker),

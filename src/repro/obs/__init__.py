@@ -12,9 +12,17 @@ package makes it inspectable end to end:
   diffable (config, git revision, stage durations, error counts);
 * :mod:`repro.obs.telemetry` — the facade threading all of the above
   through the pipeline, with a zero-cost disabled mode;
-* :mod:`repro.obs.summary` — rendering for ``repro trace <run-dir>``.
+* :mod:`repro.obs.summary` — rendering for ``repro trace <run-dir>``;
+* :mod:`repro.obs.quality` — the end-of-run fidelity scorecard scored
+  against ground truth and the paper-shape calibration targets;
+* :mod:`repro.obs.watchdog` — in-flight crawl-health monitors
+  (coverage, error/ban rates, stalls);
+* :mod:`repro.obs.rundir` — defensive loading of telemetry dirs;
+* :mod:`repro.obs.diff` — run-to-run regression diffing;
+* :mod:`repro.obs.report_html` — the single-file health dashboard.
 """
 
+from repro.obs.diff import DiffConfig, DiffLine, RunDiff, diff_runs
 from repro.obs.events import Event, EventLog, NullEventLog
 from repro.obs.manifest import (
     MANIFEST_FILENAME,
@@ -31,6 +39,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.quality import (
+    SCORECARD_FILENAME,
+    Scorecard,
+    ScoreEntry,
+    compute_scorecard,
+    load_scorecard,
+    write_scorecard,
+)
+from repro.obs.report_html import health_status, render_health_html
+from repro.obs.rundir import RunDir, TelemetryDirError
 from repro.obs.summary import render_trace_summary
 from repro.obs.telemetry import (
     EVENTS_FILENAME,
@@ -41,12 +59,17 @@ from repro.obs.telemetry import (
     configure_logging,
 )
 from repro.obs.trace import NullTracer, SpanRecord, SpanTracer, stage_summary
+from repro.obs.watchdog import CrawlWatchdog, Finding, WatchdogConfig
 
 __all__ = [
     "Counter",
+    "CrawlWatchdog",
+    "DiffConfig",
+    "DiffLine",
     "Event",
     "EventLog",
     "EVENTS_FILENAME",
+    "Finding",
     "Gauge",
     "Histogram",
     "MANIFEST_FILENAME",
@@ -57,15 +80,28 @@ __all__ = [
     "NullEventLog",
     "NullRegistry",
     "NullTracer",
+    "RunDiff",
+    "RunDir",
+    "SCORECARD_FILENAME",
+    "Scorecard",
+    "ScoreEntry",
     "SpanRecord",
     "SpanTracer",
     "TRACE_FILENAME",
     "Telemetry",
+    "TelemetryDirError",
+    "WatchdogConfig",
     "build_manifest",
+    "compute_scorecard",
     "configure_logging",
+    "diff_runs",
     "git_describe",
+    "health_status",
     "load_manifest",
+    "load_scorecard",
+    "render_health_html",
     "render_trace_summary",
     "stage_summary",
     "write_manifest",
+    "write_scorecard",
 ]

@@ -73,6 +73,8 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
         dataclasses.asdict(config)
         if dataclasses.is_dataclass(config) else dict(config)
     )
+    watchdog = getattr(result, "watchdog", None)
+    scorecard = getattr(result, "scorecard", None)
     return {
         "schema": MANIFEST_SCHEMA,
         "command": list(command) if command is not None else None,
@@ -84,6 +86,15 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
         "dataset": result.dataset.summary() if getattr(result, "dataset", None) else {},
         "stages": telemetry.tracer.stage_summary(),
         "crawl": _crawl_section(result),
+        "watchdog": watchdog.summary() if watchdog is not None else None,
+        "scorecard": (
+            {
+                "passed": scorecard.passed,
+                "n_entries": len(scorecard.entries),
+                "n_failed": len(scorecard.failures()),
+            }
+            if scorecard is not None else None
+        ),
         "events": telemetry.events.counts_by_kind(),
         "metrics": telemetry.metrics.snapshot(),
     }

@@ -25,6 +25,43 @@ class MetricError(ValueError):
     """Bad metric usage: wrong labels, redeclared type, invalid name."""
 
 
+def quantile_from_buckets(bounds: Sequence[float],
+                          cumulative_counts: Sequence[int],
+                          count: int, q: float) -> float:
+    """The q-quantile (0..1) of a cumulative-bucket histogram.
+
+    ``cumulative_counts[i]`` counts observations ``<= bounds[i]``.  The
+    estimate interpolates linearly inside the bucket that crosses the
+    target rank (the Prometheus ``histogram_quantile`` rule); values
+    beyond the top finite bucket clamp to the largest bound.
+    """
+    if count <= 0:
+        return 0.0
+    target = min(max(q, 0.0), 1.0) * count
+    prev_bound = 0.0
+    prev_cum = 0
+    for bound, cum in zip(bounds, cumulative_counts):
+        if cum >= target:
+            span = cum - prev_cum
+            if span <= 0:
+                return bound
+            return prev_bound + (bound - prev_bound) * (target - prev_cum) / span
+        prev_bound, prev_cum = bound, cum
+    return float(bounds[-1]) if bounds else 0.0
+
+
+def exported_histogram_quantile(series: dict, q: float) -> float:
+    """Quantile from one exported histogram series dict (see
+    :meth:`Histogram._series_dicts`: ``{"count": n, "buckets": {bound:
+    cumulative}}``).  Accepts the JSON round-tripped form."""
+    buckets = series.get("buckets") or {}
+    pairs = sorted((float(bound), int(cum)) for bound, cum in buckets.items())
+    return quantile_from_buckets(
+        [b for b, _ in pairs], [c for _, c in pairs],
+        int(series.get("count", 0)), q,
+    )
+
+
 class _Metric:
     """Base: a named family of series keyed by label values."""
 
@@ -168,6 +205,16 @@ class Histogram(_Metric):
         series = self._series.get(self._key(labels))
         return list(series.bucket_counts) if series else [0] * len(self.buckets)
 
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimate the q-quantile (0..1) for one series by linear
+        interpolation within its cumulative buckets."""
+        series = self._series.get(self._key(labels))
+        if series is None:
+            return 0.0
+        return quantile_from_buckets(
+            self.buckets, series.bucket_counts, series.count, q
+        )
+
     def _series_dicts(self) -> List[dict]:
         return [
             {
@@ -262,6 +309,9 @@ class NullMetric:
     def sum(self, **labels) -> float:
         return 0.0
 
+    def quantile(self, q: float, **labels) -> float:
+        return 0.0
+
 
 class NullRegistry:
     """Registry stand-in whose metrics are all the same no-op object."""
@@ -296,4 +346,6 @@ __all__ = [
     "MetricsRegistry",
     "NullMetric",
     "NullRegistry",
+    "exported_histogram_quantile",
+    "quantile_from_buckets",
 ]

@@ -1,0 +1,249 @@
+"""``repro health DIR`` — a single-file, zero-dependency HTML dashboard.
+
+Renders one telemetry directory (see :class:`~repro.obs.rundir.RunDir`)
+into a self-contained HTML page: run header, fidelity scorecard with
+in-band/out-of-band gauges, watchdog findings, per-stage durations,
+per-marketplace crawl stats, per-host HTTP latency quantiles and
+retry/politeness overhead, and the event breakdown.  Styling is inline
+CSS; no JavaScript, no external assets, so the file can be archived as
+a CI artifact and opened anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import exported_histogram_quantile
+from repro.obs.rundir import RunDir
+
+REPORT_FILENAME = "health.html"
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a202c; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #cbd5e0; padding: .25rem .6rem;
+         font-size: .85rem; text-align: left; }
+th { background: #edf2f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #276749; } .fail { color: #9b2c2c; font-weight: 600; }
+.warning { color: #975a16; } .critical { color: #9b2c2c; font-weight: 600; }
+.meter { background: #e2e8f0; width: 140px; height: .75rem;
+         display: inline-block; position: relative; }
+.meter > span { background: #48bb78; height: 100%; display: block; }
+.meter.out > span { background: #f56565; }
+.muted { color: #718096; font-size: .8rem; }
+"""
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+           numeric: Sequence[int] = ()) -> str:
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in headers)
+    body: List[str] = []
+    for row in rows:
+        cells = []
+        for index, cell in enumerate(row):
+            css = ' class="num"' if index in numeric else ""
+            cells.append(f"<td{css}>{cell}</td>")
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def _meter(value: float, low: float, high: float) -> str:
+    """A filled bar showing where a value sits; red when out of band."""
+    span = max(high - low, 1e-9)
+    fill = min(max((value - low) / span, 0.0), 1.0) * 100.0
+    out = "" if low <= value <= high else " out"
+    return f'<div class="meter{out}"><span style="width:{fill:.0f}%"></span></div>'
+
+
+def _section_header(run: RunDir) -> str:
+    manifest = run.manifest or {}
+    bits: List[str] = [f"<h1>Run health: {html.escape(run.path)}</h1>"]
+    meta: List[str] = []
+    config = manifest.get("config") or {}
+    for key in sorted(config):
+        meta.append(f"{key}={config[key]}")
+    if manifest.get("git"):
+        meta.append(f"git={manifest['git']}")
+    if manifest.get("simulated_seconds") is not None:
+        meta.append(f"simulated_seconds={manifest['simulated_seconds']:,.0f}")
+    if meta:
+        bits.append(f'<p class="muted">{html.escape(", ".join(meta))}</p>')
+    return "\n".join(bits)
+
+
+def _section_scorecard(run: RunDir) -> str:
+    card = run.scorecard
+    if not card:
+        return "<h2>Fidelity scorecard</h2><p>no scorecard recorded</p>"
+    status = (
+        '<span class="ok">PASS</span>' if card.get("passed")
+        else '<span class="fail">FAIL</span>'
+    )
+    rows = []
+    for entry in card.get("entries", []):
+        passed = entry.get("passed", False)
+        rows.append([
+            html.escape(entry.get("name", "")),
+            html.escape(entry.get("kind", "")),
+            f"{entry.get('value', 0.0):.4f}",
+            f"[{entry.get('low')}, {entry.get('high')}]",
+            _meter(entry.get("value", 0.0), entry.get("low", 0.0),
+                   entry.get("high", 1.0)),
+            '<span class="ok">ok</span>' if passed
+            else '<span class="fail">out of band</span>',
+            html.escape(entry.get("detail", "")),
+        ])
+    return (
+        f"<h2>Fidelity scorecard {status}</h2>"
+        + _table(["metric", "kind", "value", "band", "", "status", "detail"],
+                 rows, numeric=(2,))
+    )
+
+
+def _section_watchdog(run: RunDir) -> str:
+    summary = run.watchdog_summary()
+    if not summary:
+        return "<h2>Watchdog</h2><p>no watchdog summary recorded</p>"
+    counts = summary.get("counts") or {}
+    label = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items())) or "clean"
+    rows = []
+    for finding in summary.get("findings", []):
+        severity = finding.get("severity", "warning")
+        rows.append([
+            f'<span class="{html.escape(severity)}">{html.escape(severity)}</span>',
+            html.escape(finding.get("check", "")),
+            html.escape(finding.get("subject", "")),
+            html.escape(str(finding.get("iteration", ""))),
+            html.escape(finding.get("message", "")),
+        ])
+    body = (
+        _table(["severity", "check", "subject", "iteration", "message"], rows)
+        if rows else '<p class="ok">no findings — crawl looked healthy</p>'
+    )
+    return f"<h2>Watchdog ({html.escape(label)})</h2>" + body
+
+
+def _section_stages(run: RunDir) -> str:
+    if not run.stages:
+        return ""
+    rows = [
+        [
+            html.escape(stage.get("name", "")),
+            f"{stage.get('sim_seconds', 0.0):,.1f}",
+            f"{stage.get('wall_seconds', 0.0):.3f}",
+            str(stage.get("spans", 0)),
+        ]
+        for stage in run.stages
+    ]
+    return "<h2>Stage durations</h2>" + _table(
+        ["stage", "sim s", "wall s", "spans"], rows, numeric=(1, 2, 3)
+    )
+
+
+def _section_crawl(run: RunDir) -> str:
+    manifest = run.manifest or {}
+    reports = (manifest.get("crawl") or {}).get("reports") or []
+    if not reports:
+        return ""
+    totals: Dict[str, List[int]] = {}
+    for report in reports:
+        row = totals.setdefault(report["marketplace"], [0, 0, 0, 0])
+        row[0] += report.get("pages_fetched", 0)
+        row[1] += report.get("offers_found", 0)
+        row[2] += report.get("offers_parsed", 0)
+        row[3] += report.get("errors", 0)
+    rows = [
+        [html.escape(name)] + [str(v) for v in values]
+        for name, values in sorted(totals.items())
+    ]
+    return "<h2>Crawl totals (summed over iterations)</h2>" + _table(
+        ["marketplace", "pages", "offers found", "offers parsed", "errors"],
+        rows, numeric=(1, 2, 3, 4),
+    )
+
+
+def _section_http(run: RunDir) -> str:
+    latency = run.histogram_series("http_request_sim_seconds")
+    scalars = run.scalar_metrics()
+    if not latency and not scalars:
+        return ""
+    waits: Dict[str, List[float]] = {}
+    for (name, labels), value in scalars.items():
+        if name not in ("http_retry_wait_seconds_total",
+                        "http_politeness_wait_seconds_total"):
+            continue
+        host = dict(labels).get("host", "")
+        slot = waits.setdefault(host, [0.0, 0.0])
+        slot[0 if name.startswith("http_retry") else 1] += value
+    rows = []
+    hosts = sorted(
+        {(s.get("labels") or {}).get("host", "") for s in latency} | set(waits)
+    )
+    series_by_host = {
+        (s.get("labels") or {}).get("host", ""): s for s in latency
+    }
+    for host in hosts:
+        series = series_by_host.get(host)
+        p50 = exported_histogram_quantile(series, 0.5) if series else 0.0
+        p95 = exported_histogram_quantile(series, 0.95) if series else 0.0
+        count = int(series.get("count", 0)) if series else 0
+        retry, polite = waits.get(host, [0.0, 0.0])
+        rows.append([
+            html.escape(host), str(count), f"{p50:.3f}", f"{p95:.3f}",
+            f"{retry:,.1f}", f"{polite:,.1f}",
+        ])
+    if not rows:
+        return ""
+    return "<h2>HTTP client, per host (simulated seconds)</h2>" + _table(
+        ["host", "requests", "p50 latency", "p95 latency",
+         "retry wait", "politeness wait"],
+        rows, numeric=(1, 2, 3, 4, 5),
+    )
+
+
+def _section_events(run: RunDir) -> str:
+    counts = run.event_kind_counts()
+    if not counts:
+        return "<h2>Events</h2><p>none recorded</p>"
+    rows = [[html.escape(kind), str(count)] for kind, count in counts.items()]
+    return "<h2>Events by kind</h2>" + _table(["kind", "count"], rows,
+                                              numeric=(1,))
+
+
+def render_health_html(run: RunDir) -> str:
+    """The full dashboard page for one loaded telemetry directory."""
+    sections = [
+        _section_header(run),
+        _section_scorecard(run),
+        _section_watchdog(run),
+        _section_stages(run),
+        _section_crawl(run),
+        _section_http(run),
+        _section_events(run),
+    ]
+    body = "\n".join(section for section in sections if section)
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>repro health</title><style>{_CSS}</style></head>"
+        f"<body>\n{body}\n</body></html>\n"
+    )
+
+
+def health_status(run: RunDir) -> bool:
+    """True when the run looks healthy: scorecard passed (or absent) and
+    no critical watchdog findings."""
+    if run.scorecard and not run.scorecard.get("passed", False):
+        return False
+    summary = run.watchdog_summary() or {}
+    if (summary.get("counts") or {}).get("critical"):
+        return False
+    return True
+
+
+__all__ = ["REPORT_FILENAME", "health_status", "render_health_html"]

@@ -1,19 +1,19 @@
 """Rendering for ``repro trace <run-dir>``.
 
-Reads a telemetry directory (manifest.json / trace.jsonl / events.jsonl,
-any subset) and produces the per-stage time-and-error summary table plus
-event and crawl-error breakdowns.
+Reads a telemetry directory through :class:`~repro.obs.rundir.RunDir`
+(manifest.json / metrics.json / trace.jsonl / events.jsonl /
+scorecard.json, any subset) and produces the per-stage
+time-and-error summary, per-host HTTP latency quantiles and
+retry/politeness overhead, watchdog and scorecard status, and event and
+crawl-error breakdowns.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from repro.obs.events import EventLog
-from repro.obs.manifest import load_manifest
-from repro.obs.telemetry import EVENTS_FILENAME, TRACE_FILENAME
-from repro.obs.trace import SpanTracer, stage_summary
+from repro.obs.metrics import exported_histogram_quantile
+from repro.obs.rundir import RunDir
 
 
 def _format_table(headers: List[str], rows: List[List[str]]) -> str:
@@ -49,18 +49,103 @@ def _stage_rows(stages: List[dict],
     )
 
 
-def render_trace_summary(directory: str) -> str:
-    """The full ``repro trace`` report for one telemetry directory."""
-    sections: List[str] = []
-    manifest = load_manifest(directory)
-    trace_path = os.path.join(directory, TRACE_FILENAME)
-    events_path = os.path.join(directory, EVENTS_FILENAME)
+def _http_section(run: RunDir) -> Optional[str]:
+    """Per-host request counts, p50/p95 sim latency, and the retry /
+    politeness wait totals the :class:`~repro.web.client.ClientStats`
+    accumulate."""
+    latency = run.histogram_series("http_request_sim_seconds")
+    scalars = run.scalar_metrics()
+    waits: Dict[str, List[float]] = {}
+    for (name, labels), value in scalars.items():
+        if name not in ("http_retry_wait_seconds_total",
+                        "http_politeness_wait_seconds_total"):
+            continue
+        host = dict(labels).get("host", "")
+        slot = waits.setdefault(host, [0.0, 0.0])
+        slot[0 if name.startswith("http_retry") else 1] += value
+    series_by_host = {
+        (s.get("labels") or {}).get("host", ""): s for s in latency
+    }
+    hosts = sorted(set(series_by_host) | set(waits))
+    if not hosts:
+        return None
+    rows = []
+    for host in hosts:
+        series = series_by_host.get(host)
+        count = int(series.get("count", 0)) if series else 0
+        p50 = exported_histogram_quantile(series, 0.5) if series else 0.0
+        p95 = exported_histogram_quantile(series, 0.95) if series else 0.0
+        retry, polite = waits.get(host, [0.0, 0.0])
+        rows.append([
+            host, str(count), f"{p50:.3f}", f"{p95:.3f}",
+            f"{retry:,.1f}", f"{polite:,.1f}",
+        ])
+    return (
+        "http client, per host (sim seconds):\n"
+        + _format_table(
+            ["host", "requests", "p50", "p95", "retry wait", "polite wait"],
+            rows,
+        )
+    )
 
-    stages: List[dict] = []
-    if manifest and manifest.get("stages"):
-        stages = manifest["stages"]
-    elif os.path.exists(trace_path):
-        stages = stage_summary(SpanTracer.load_jsonl(trace_path))
+
+def _watchdog_section(run: RunDir) -> Optional[str]:
+    summary = run.watchdog_summary()
+    if summary is None:
+        return None
+    counts = summary.get("counts") or {}
+    findings = summary.get("findings") or []
+    if not findings:
+        return "watchdog: no findings"
+    label = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    rows = [
+        [
+            finding.get("severity", ""),
+            finding.get("check", ""),
+            finding.get("subject", ""),
+            str(finding.get("iteration", "")),
+            finding.get("message", ""),
+        ]
+        for finding in findings
+    ]
+    return (
+        f"watchdog findings ({label}):\n"
+        + _format_table(
+            ["severity", "check", "subject", "iter", "message"], rows
+        )
+    )
+
+
+def _scorecard_section(run: RunDir) -> Optional[str]:
+    card = run.scorecard
+    if not card:
+        return None
+    status = "PASS" if card.get("passed") else "FAIL"
+    failed = [
+        entry for entry in card.get("entries", [])
+        if not entry.get("passed", False)
+    ]
+    lines = [
+        f"fidelity scorecard: {status} "
+        f"({card.get('n_entries', 0)} metrics, {len(failed)} out of band)"
+    ]
+    for entry in failed:
+        lines.append(
+            f"  {entry.get('name')}: {entry.get('value')} outside "
+            f"[{entry.get('low')}, {entry.get('high')}]"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_summary(source: Union[str, RunDir]) -> str:
+    """The full ``repro trace`` report for one telemetry directory.
+
+    Accepts a path (raises :class:`~repro.obs.rundir.TelemetryDirError`
+    on unusable directories) or an already-loaded :class:`RunDir`.
+    """
+    run = source if isinstance(source, RunDir) else RunDir.load(source)
+    sections: List[str] = []
+    manifest = run.manifest
 
     if manifest:
         header = [f"run manifest: schema={manifest.get('schema')}"]
@@ -78,19 +163,20 @@ def render_trace_summary(directory: str) -> str:
         )
         sections.append("\n".join(header))
 
-    if stages:
-        sections.append("per-stage summary:\n" + _stage_rows(stages))
+    if run.stages:
+        sections.append("per-stage summary:\n" + _stage_rows(run.stages))
     else:
-        sections.append(f"no trace data found in {directory}")
+        sections.append(f"no trace data found in {run.path}")
 
-    events: List = []
-    if os.path.exists(events_path):
-        events = EventLog.load_jsonl(events_path)
-    counts: Dict[str, int] = {}
-    for event in events:
-        counts[event.kind] = counts.get(event.kind, 0) + 1
-    if not counts and manifest:
-        counts = manifest.get("events", {})
+    for section in (
+        _scorecard_section(run),
+        _watchdog_section(run),
+        _http_section(run),
+    ):
+        if section:
+            sections.append(section)
+
+    counts = run.event_kind_counts()
     if counts:
         rows = [[kind, str(count)] for kind, count in sorted(counts.items())]
         sections.append("events by kind:\n" + _format_table(["kind", "count"], rows))

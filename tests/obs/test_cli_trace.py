@@ -53,8 +53,24 @@ class TestTraceCommand:
         assert "profile_collection" in out
         assert "crawl totals" in out
 
-    def test_missing_dir_fails(self, tmp_path, capsys):
-        assert main(["trace", str(tmp_path / "nope")]) == 1
+    def test_missing_dir_exits_2(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "no telemetry directory" in err
+
+    def test_empty_dir_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["trace", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "contains no telemetry files" in err
+
+    def test_http_latency_quantiles_rendered(self, telemetry_dir, capsys):
+        assert main(["trace", telemetry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "http client, per host" in out
+        assert "p50" in out and "p95" in out
+        assert "polite wait" in out
 
     def test_run_without_telemetry_writes_nothing(self, tmp_path):
         run_dir = tmp_path / "plain"

@@ -8,6 +8,8 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
     NullRegistry,
+    exported_histogram_quantile,
+    quantile_from_buckets,
 )
 
 
@@ -127,6 +129,62 @@ class TestHistogram:
     def test_unsorted_buckets_rejected(self):
         with pytest.raises(MetricError):
             MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+class TestQuantiles:
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets([1.0], [0], 0, 0.5) == 0.0
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,))
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_interpolates_inside_crossing_bucket(self):
+        # 10 observations uniform in (0, 1]: p50 falls halfway into
+        # the (0, 1] bucket.
+        assert quantile_from_buckets([1.0, 2.0], [10, 10], 10, 0.5) \
+            == pytest.approx(0.5)
+        # Rank 15 of 20 sits 1/2 of the way through the (1, 2] bucket.
+        assert quantile_from_buckets([1.0, 2.0], [10, 20], 20, 0.75) \
+            == pytest.approx(1.5)
+
+    def test_clamps_beyond_top_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 5.0, 50.0):
+            histogram.observe(value)
+        # Overflow observations clamp to the largest finite bound.
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_histogram_quantile_monotone(self):
+        histogram = MetricsRegistry().histogram(
+            "latency", buckets=(0.1, 0.5, 1.0, 5.0)
+        )
+        for value in (0.05, 0.2, 0.3, 0.7, 0.9, 2.0):
+            histogram.observe(value)
+        p50 = histogram.quantile(0.5)
+        p95 = histogram.quantile(0.95)
+        assert 0.0 < p50 <= p95 <= 5.0
+
+    def test_labeled_quantiles_independent(self):
+        histogram = MetricsRegistry().histogram(
+            "h", labels=("host",), buckets=(1.0, 10.0)
+        )
+        histogram.observe(0.5, host="fast")
+        histogram.observe(8.0, host="slow")
+        assert histogram.quantile(0.5, host="fast") <= 1.0
+        assert histogram.quantile(0.5, host="slow") > 1.0
+
+    def test_exported_series_round_trip(self):
+        histogram = MetricsRegistry().histogram(
+            "latency", labels=("host",), buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value, host="a")
+        snapshot = json.loads(json.dumps(histogram.to_dict()))
+        (series,) = snapshot["series"]
+        assert exported_histogram_quantile(series, 0.5) \
+            == pytest.approx(histogram.quantile(0.5, host="a"))
+
+    def test_null_histogram_quantile(self):
+        assert NullRegistry().histogram("h").quantile(0.5) == 0.0
 
 
 class TestNullRegistry:
