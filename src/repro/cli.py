@@ -73,6 +73,9 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         iterations=args.iterations,
         include_underground=not args.no_underground,
         telemetry_enabled=bool(getattr(args, "telemetry_out", None)),
+        chaos_profile=getattr(args, "chaos", "off") or "off",
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=bool(getattr(args, "resume", False)),
     )
 
 
@@ -275,6 +278,11 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
                         help="collection iterations (Figure 2)")
     parser.add_argument("--no-underground", action="store_true",
                         help="skip the Tor-forum manual collection")
+    parser.add_argument("--chaos", default="off",
+                        choices=["off", "light", "moderate", "heavy"],
+                        help="inject seeded faults (outages, 5xx bursts, "
+                             "hangs, 429 storms, corrupt pages) at the "
+                             "named intensity")
     parser.add_argument("--log-level", default="warning",
                         choices=["debug", "info", "warning", "error"],
                         help="logging verbosity for the repro logger")
@@ -293,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = commands.add_parser("run", help="run a study and save the dataset")
     _add_study_args(run_parser)
     run_parser.add_argument("--out", required=True, help="output directory")
+    run_parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                            help="persist crawl state here after every "
+                                 "iteration (enables --resume)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="resume a killed run from the checkpoint "
+                                 "in --checkpoint-dir instead of starting "
+                                 "fresh")
     run_parser.set_defaults(handler=cmd_run)
 
     report_parser = commands.add_parser("report", help="render tables from a saved run")

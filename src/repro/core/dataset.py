@@ -50,6 +50,10 @@ class ListingRecord:
     #: Collection-iteration bookkeeping (Figure 2).
     first_seen_iteration: int = 0
     last_seen_iteration: int = 0
+    #: Data lineage: ``"complete"`` for a clean extraction, or a
+    #: ``"partial:<reason>"`` flag when the page was degraded (truncated
+    #: markup, failed re-fetch, ...) and fields may be missing.
+    provenance: str = "complete"
 
     @property
     def has_visible_profile(self) -> bool:
@@ -75,6 +79,9 @@ class ProfileRecord:
     email: Optional[str] = None
     phone: Optional[str] = None
     website: Optional[str] = None
+    #: Data lineage: ``"complete"``, or ``"partial:<reason>"`` when a
+    #: subsidiary fetch (e.g. the timeline) failed and fields are missing.
+    provenance: str = "complete"
 
     @property
     def is_active(self) -> bool:

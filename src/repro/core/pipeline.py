@@ -14,11 +14,13 @@ plus the crawl artifacts (Figure-2 series, payment-method matrix).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dataset import MeasurementDataset
 from repro.crawler.crawler import CrawlReport, IterationCrawl, MarketplaceCrawler
+from repro.faults import FaultInjector, resolve_profile
 from repro.crawler.profile_collector import ProfileCollector
 from repro.crawler.underground_collector import UndergroundCollector
 from repro.marketplaces.channels import monitored_channels, triage, websites
@@ -63,6 +65,15 @@ class StudyConfig:
     #: re-runs the analysis stages (including the NLP pipeline), so
     #: benchmarks that time the crawl alone should turn it off.
     scorecard_enabled: bool = True
+    #: Chaos profile name (``off``/``light``/``moderate``/``heavy``):
+    #: wraps the synthetic Internet in a seeded fault-injection layer.
+    chaos_profile: str = "off"
+    #: Directory for crawl checkpoints; with it set, the iteration crawl
+    #: persists its tracker after every iteration.
+    checkpoint_dir: Optional[str] = None
+    #: Resume from an existing checkpoint in ``checkpoint_dir`` instead
+    #: of starting fresh (the CLI's ``repro run --resume``).
+    resume: bool = False
 
     def world_config(self) -> WorldConfig:
         return WorldConfig(
@@ -92,6 +103,8 @@ class StudyResult:
     watchdog: Optional[CrawlWatchdog] = None
     #: End-of-run fidelity scorecard (None when disabled).
     scorecard: Optional[Scorecard] = None
+    #: The fault injector the run crawled through (None when chaos off).
+    fault_injector: Optional[FaultInjector] = None
 
 
 class Study:
@@ -131,6 +144,19 @@ class Study:
         telemetry.set_clock(internet.clock)
         internet.set_telemetry(telemetry)
 
+        # Chaos: interpose the fault injector between client and sites.
+        # Sites still register against the real Internet (the injector
+        # delegates); only the crawling client sees injected weather.
+        fault_profile = resolve_profile(self.config.chaos_profile)
+        injector: Optional[FaultInjector] = None
+        network = internet
+        if fault_profile.active:
+            injector = FaultInjector(
+                internet, fault_profile,
+                seed=self.config.seed, telemetry=telemetry,
+            )
+            network = injector
+
         with tracer.span("build_world"):
             world = WorldBuilder(self.config.world_config()).build()
         with tracer.span("deploy"):
@@ -147,10 +173,32 @@ class Study:
             )
 
         client = HttpClient(
-            internet,
+            network,
             ClientConfig(per_host_delay_seconds=self.config.per_host_delay_seconds),
             telemetry=telemetry,
         )
+        checkpoint_path: Optional[str] = None
+        if self.config.checkpoint_dir:
+            checkpoint_path = os.path.join(
+                self.config.checkpoint_dir, "crawl_checkpoint.json"
+            )
+            if not self.config.resume and os.path.exists(checkpoint_path):
+                # A fresh (non-resume) run must not silently continue a
+                # previous crawl's state.
+                os.remove(checkpoint_path)
+
+        def advance_iteration(iteration: int) -> None:
+            set_iteration(market_sites, iteration)
+            if injector is not None:
+                injector.begin_iteration(iteration)
+            if injector is not None or checkpoint_path:
+                # Reset per-host transport state (breakers, retry budget,
+                # politeness) at the iteration boundary: iterations are
+                # days apart in simulated time, and a resumed run must
+                # enter iteration k with the same client state an
+                # uninterrupted run would have.
+                client.begin_epoch(iteration)
+
         watchdog: Optional[CrawlWatchdog] = None
         if telemetry.enabled and self.config.watchdogs_enabled:
             watchdog = CrawlWatchdog(
@@ -167,8 +215,9 @@ class Study:
                 name: f"http://{spec.host}/listings"
                 for name, spec in MARKETPLACES.items()
             },
-            set_iteration=lambda i: set_iteration(market_sites, i),
+            set_iteration=advance_iteration,
             iterations=self.config.iterations,
+            checkpoint_path=checkpoint_path,
             telemetry=telemetry,
             watchdog=watchdog,
         )
@@ -176,6 +225,16 @@ class Study:
             dataset = crawl.run()
         if watchdog is not None:
             watchdog.finish()
+
+        # Post-crawl stages get their own fault epoch and fresh client
+        # state.  Without this, a run resumed from an already-complete
+        # checkpoint (which skips the crawl entirely) would enter the
+        # payment/profile/underground stages with different RNG-stream
+        # offsets than an uninterrupted run — and diverge.
+        if injector is not None:
+            injector.begin_iteration(self.config.iterations)
+        if injector is not None or checkpoint_path:
+            client.begin_epoch(self.config.iterations)
 
         # Payment pages, once per marketplace (Table 3).
         payments: Dict[str, List[Tuple[str, str]]] = {}
@@ -203,7 +262,7 @@ class Study:
         # Underground manual-protocol collection.
         if underground_sites:
             tor_client = HttpClient(
-                internet,
+                network,
                 ClientConfig(via_tor=True, per_host_delay_seconds=0.0),
                 client_id="manual-analyst",
                 telemetry=telemetry,
@@ -229,6 +288,7 @@ class Study:
             simulated_seconds=internet.clock.now(),
             telemetry=telemetry,
             watchdog=watchdog,
+            fault_injector=injector,
         )
         # Fidelity scorecard: score the collected dataset against the
         # world's ground truth and the paper-shape targets (§quality).

@@ -39,6 +39,18 @@ from repro.web.url import join_url, normalize_url, url_host
 logger = logging.getLogger("repro.crawler")
 
 
+def _looks_truncated(response) -> bool:
+    """Whether an ok HTML response body was cut off mid-transfer.
+
+    Every page the substrate renders ends with ``</html>``; a body
+    missing that tail lost its end — the signature of a proxy dying
+    mid-transfer (which the fault layer injects as ``truncate_body``).
+    """
+    if not response.ok or "text/html" not in response.content_type:
+        return False
+    return "</html>" not in response.body[-32:]
+
+
 @dataclass(frozen=True)
 class CrawlError:
     """One structured crawl failure: what URL, what kind, what detail."""
@@ -134,22 +146,31 @@ class MarketplaceCrawler:
                     labels=("marketplace",),
                 ).inc(value, marketplace=self.marketplace)
 
+    def _get_page(self, url: str, report: CrawlReport):
+        """GET with a one-shot integrity re-fetch for truncated bodies."""
+        response = self._client.get(url)
+        report.pages_fetched += 1
+        if _looks_truncated(response):
+            self.telemetry.events.emit(
+                "crawl.refetch",
+                url=url,
+                marketplace=self.marketplace,
+                iteration=self.iteration,
+                detail="truncated body",
+            )
+            response = self._client.get(url)
+            report.pages_fetched += 1
+        return response
+
     def _crawl_pages(self, report: CrawlReport,
                      listings: List[ListingRecord]) -> None:
         page_url: Optional[str] = self.seed_url
         seen_offers = Frontier()
         while page_url is not None:
             with self.telemetry.tracer.span("crawl.page", url=page_url):
-                try:
-                    response = self._client.get(page_url)
-                except HttpError as exc:
-                    self._fail(report, page_url, "http_error",
-                               f"{type(exc).__name__}: {exc}")
+                index = self._collect_index(page_url, report)
+                if index is None:
                     break
-                report.pages_fetched += 1
-                if not response.ok:
-                    break
-                index = extract_listing_index(page_url, response.body)
                 fresh = [u for u in index.offer_urls if seen_offers.add(u)]
                 report.offers_found += len(fresh)
                 for offer_url in fresh:
@@ -158,23 +179,79 @@ class MarketplaceCrawler:
                         listings.append(record)
                 page_url = index.next_page_url
 
+    def _collect_index(self, page_url: str, report: CrawlReport):
+        """Fetch + parse one listing-index page; ``None`` ends the walk.
+
+        An index page that comes back empty (no offers, no pagination)
+        is re-fetched once before being believed: that shape is what a
+        corrupted body produces, and losing an index page silently loses
+        every offer behind it.
+        """
+        for attempt in (0, 1):
+            try:
+                response = self._get_page(page_url, report)
+            except HttpError as exc:
+                self._fail(report, page_url, "http_error",
+                           f"{type(exc).__name__}: {exc}")
+                return None
+            if not response.ok:
+                self._fail(report, page_url, "http_status",
+                           f"status {response.status}")
+                return None
+            try:
+                index = extract_listing_index(page_url, response.body)
+            except ExtractionError as exc:
+                self._fail(report, page_url, "extraction_error",
+                           f"{type(exc).__name__}: {exc}")
+                return None
+            if index.offer_urls or index.next_page_url or attempt:
+                return index
+            self.telemetry.events.emit(
+                "crawl.refetch",
+                url=page_url,
+                marketplace=self.marketplace,
+                iteration=self.iteration,
+                detail="empty index page",
+            )
+        return index
+
     def _collect_offer(self, offer_url: str, report: CrawlReport) -> Optional[ListingRecord]:
-        try:
-            response = self._client.get(offer_url)
-        except HttpError as exc:
-            self._fail(report, offer_url, "http_error",
-                       f"{type(exc).__name__}: {exc}")
-            return None
-        report.pages_fetched += 1
-        if not response.ok:
-            self._fail(report, offer_url, "http_status", f"status {response.status}")
-            return None
-        try:
-            record = extract_offer(offer_url, response.body, self.marketplace)
-        except ExtractionError as exc:
+        record = None
+        last_error: Optional[ExtractionError] = None
+        for attempt in (0, 1):
+            try:
+                response = self._get_page(offer_url, report)
+            except HttpError as exc:
+                self._fail(report, offer_url, "http_error",
+                           f"{type(exc).__name__}: {exc}")
+                return None
+            if not response.ok:
+                self._fail(report, offer_url, "http_status",
+                           f"status {response.status}")
+                return None
+            try:
+                record = extract_offer(offer_url, response.body, self.marketplace)
+            except ExtractionError as exc:
+                # Transient corruption (mangled or truncated body) heals
+                # on a re-fetch; a genuinely broken page fails twice.
+                last_error = exc
+                continue
+            break
+        if record is None:
             self._fail(report, offer_url, "extraction_error",
-                       f"{type(exc).__name__}: {exc}")
+                       f"{type(last_error).__name__}: {last_error}")
             return None
+        if _looks_truncated(response):
+            # Extraction salvaged fields from a cut-off page even after
+            # the re-fetch; keep the record but flag its lineage.
+            record.provenance = "partial:truncated_html"
+            self.telemetry.events.emit(
+                "crawl.partial_record",
+                url=offer_url,
+                marketplace=self.marketplace,
+                iteration=self.iteration,
+                detail="truncated_html",
+            )
         report.offers_parsed += 1
         if record.seller_url:
             self._visit_seller(record.seller_url, report)
@@ -185,13 +262,14 @@ class MarketplaceCrawler:
         if key in self._seller_cache:
             return
         try:
-            response = self._client.get(seller_url)
+            response = self._get_page(seller_url, report)
         except HttpError as exc:
             self._fail(report, seller_url, "http_error",
                        f"{type(exc).__name__}: {exc}")
             return
-        report.pages_fetched += 1
         if not response.ok:
+            self._fail(report, seller_url, "http_status",
+                       f"status {response.status}")
             return
         try:
             record = extract_seller(seller_url, response.body, self.marketplace)
@@ -257,12 +335,27 @@ class IterationCrawl:
         sellers_seen: Dict[str, SellerRecord] = {}
         start_iteration = 0
         if self.checkpoint_path:
-            checkpoint = CrawlCheckpoint.load_or_empty(self.checkpoint_path)
+            checkpoint = CrawlCheckpoint.load_or_empty(
+                self.checkpoint_path, telemetry=telemetry,
+            )
             start_iteration = checkpoint.completed_iterations
             self._tracker = checkpoint.tracker
             self.active_per_iteration = checkpoint.active_per_iteration
             self.cumulative_per_iteration = checkpoint.cumulative_per_iteration
             sellers_seen.update(checkpoint.sellers)
+            if start_iteration:
+                clock = self.client.clock
+                if checkpoint.sim_seconds > clock.now():
+                    # Fast-forward the fresh clock to where the killed
+                    # run left off, so timestamps, politeness windows,
+                    # and breaker cooldowns match an uninterrupted run.
+                    clock.advance(checkpoint.sim_seconds - clock.now())
+                telemetry.events.emit(
+                    "checkpoint.resume",
+                    path=self.checkpoint_path,
+                    completed_iterations=start_iteration,
+                    tracked_offers=len(self._tracker),
+                )
         for iteration in range(start_iteration, self.iterations):
             self.set_iteration(iteration)  # type: ignore[operator]
             if self.watchdog is not None:
@@ -303,6 +396,7 @@ class IterationCrawl:
                     completed_iterations=iteration + 1,
                     active_per_iteration=self.active_per_iteration,
                     cumulative_per_iteration=self.cumulative_per_iteration,
+                    sim_seconds=self.client.clock.now(),
                     tracker=self._tracker,
                     sellers=sellers_seen,
                 ).save(self.checkpoint_path)

@@ -140,7 +140,17 @@ class ProfileCollector:
         record.email = payload.email
         record.phone = payload.phone
         record.website = payload.website
-        timeline = self._collect_timeline(platform, host, handle)
+        timeline, complete = self._collect_timeline(platform, host, handle)
+        if not complete:
+            # Keep what we got, but mark the record so analyses know the
+            # timeline may be missing posts.
+            record.provenance = "partial:timeline_error"
+            self.telemetry.events.emit(
+                "crawl.partial_record",
+                url=profile_url,
+                stage="profiles",
+                detail="timeline_error",
+            )
         return record, timeline
 
     def sweep_status(self, profiles: Iterable[ProfileRecord]) -> int:
@@ -173,23 +183,34 @@ class ProfileCollector:
 
     def _collect_timeline(
         self, platform: Platform, host: str, handle: str
-    ) -> List[PostRecord]:
-        """Page through the timeline API until exhausted."""
+    ) -> Tuple[List[PostRecord], bool]:
+        """Page through the timeline API until exhausted.
+
+        Returns the posts plus whether pagination ran to completion; a
+        transport failure or error payload mid-walk yields a partial
+        timeline the caller flags via the record's provenance.
+        """
         posts: List[PostRecord] = []
         offset = 0
+        complete = True
+        timeline_url = f"http://{host}/api/users/{handle}/posts"
         while True:
             try:
                 response = self._client.get(
-                    f"http://{host}/api/users/{handle}/posts",
+                    timeline_url,
                     limit=str(self.timeline_page_size),
                     offset=str(offset),
                 )
             except HttpError as exc:
-                self._fail(f"http://{host}/api/users/{handle}/posts",
-                           "http_error", f"{type(exc).__name__}: {exc}")
+                self._fail(timeline_url, "http_error",
+                           f"{type(exc).__name__}: {exc}")
+                complete = False
                 break
             payload = parse_timeline_payload(platform, response)
             if payload.status is not ApiStatus.ACTIVE:
+                self._fail(timeline_url, "timeline_error",
+                           f"status {payload.status.value}")
+                complete = False
                 break
             for post in payload.posts:
                 posts.append(
@@ -208,7 +229,7 @@ class ProfileCollector:
                 break
         self.report.posts_collected += len(posts)
         self._m_posts.inc(len(posts))
-        return posts
+        return posts, complete
 
 
 __all__ = ["CollectionReport", "ProfileCollector", "handle_of_url", "platform_of_url"]

@@ -96,7 +96,14 @@ class UndergroundCollector:
             return []
         self.report.pages_read += 1
         per_platform: Dict[str, int] = {}
-        section_urls = extract_section_links(forum_url, response.body)
+        try:
+            section_urls = extract_section_links(forum_url, response.body)
+        except ExtractionError as exc:
+            self._telemetry.events.emit(
+                "extraction_error", url=forum_url, marketplace=market,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+            return []
         for index, section_url in enumerate(section_urls):
             if index > 0:
                 # The forum blocks any path not linked from the last page
@@ -215,7 +222,14 @@ class UndergroundCollector:
                 break
             pages_seen += 1
             self.report.pages_read += 1
-            thread_list = extract_thread_list(page_url, response.body)
+            try:
+                thread_list = extract_thread_list(page_url, response.body)
+            except ExtractionError as exc:
+                self._telemetry.events.emit(
+                    "extraction_error", url=page_url, marketplace=market,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+                break
             for thread_url in thread_list.thread_urls:
                 if per_platform.get(key, 0) >= MAX_POSTINGS_PER_PLATFORM:
                     break

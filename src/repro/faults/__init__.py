@@ -1,0 +1,23 @@
+"""Seeded, deterministic fault injection for chaos-hardened crawling.
+
+* :mod:`repro.faults.profiles` — named chaos levels (``off``/``light``/
+  ``moderate``/``heavy``) bundling per-request fault probabilities;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` proxy that
+  wraps the synthetic :class:`~repro.web.server.Internet` and injects
+  outages, 5xx bursts, hangs, tarpits, body corruption, 429 storms, and
+  flash bans from per-``(seed, iteration, host)`` RNG streams.
+
+Same seed, same faults — chaos runs stay byte-deterministic, which is
+what lets CI diff twin runs and assert kill-and-resume equivalence.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import PROFILES, FaultProfile, FaultRates, resolve_profile
+
+__all__ = [
+    "PROFILES",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultRates",
+    "resolve_profile",
+]

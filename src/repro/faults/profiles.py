@@ -1,0 +1,140 @@
+"""Named chaos profiles: how hostile the synthetic Internet behaves.
+
+The paper's five-month measurement ran against marketplaces that
+throttled, banned, went down, and silently changed markup.  A
+:class:`FaultRates` bundle gives each fault family a per-request
+trigger probability plus its shape parameters; a :class:`FaultProfile`
+names one such bundle so runs can ask for ``--chaos moderate`` and get
+the same weather every time.
+
+Profile tuning notes: burst lengths stay at or below the client's
+default ``max_retries`` (3), so every *transient* fault family is
+recoverable by backoff alone; what moderate chaos permanently costs the
+crawl is corrupted pages that fail the integrity re-fetch and the odd
+flash-ban window — both rare enough that the fidelity scorecard stays
+inside its calibration bands (enforced by the CI chaos gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-request fault probabilities and shapes for one host."""
+
+    #: Connect errors (the host is unreachable), in short bursts.
+    outage: float = 0.0
+    outage_burst: Tuple[int, int] = (1, 1)
+    #: 5xx answers (500/502/503/504 cycling), in short bursts.
+    server_error: float = 0.0
+    server_error_burst: Tuple[int, int] = (1, 2)
+    #: Responses slower than the client timeout (the crawl hangs, then
+    #: the client gives up).
+    hang: float = 0.0
+    hang_seconds: float = 90.0
+    #: Responses slow enough to hurt but below the timeout (tarpits).
+    tarpit: float = 0.0
+    tarpit_seconds: float = 15.0
+    #: HTML bodies cut off mid-page (proxy died mid-transfer).
+    truncate_body: float = 0.0
+    #: HTML bodies with the markup scrambled (markup drift / WAF page).
+    mangle_body: float = 0.0
+    #: 429 storms carrying a ``Retry-After`` header, in bursts.
+    rate_storm: float = 0.0
+    rate_storm_burst: Tuple[int, int] = (1, 2)
+    retry_after_seconds: float = 5.0
+    #: Share of storm answers whose Retry-After is an HTTP-date instead
+    #: of delta-seconds (exercising the client's dual-form parser).
+    retry_after_http_date_share: float = 0.3
+    #: Mid-crawl flash bans: a request trips a window of 403 answers.
+    flash_ban: float = 0.0
+    flash_ban_requests: int = 2
+
+    @property
+    def active(self) -> bool:
+        return any((
+            self.outage, self.server_error, self.hang, self.tarpit,
+            self.truncate_body, self.mangle_body, self.rate_storm,
+            self.flash_ban,
+        ))
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named chaos level applied uniformly across hosts."""
+
+    name: str
+    rates: FaultRates = field(default_factory=FaultRates)
+
+    @property
+    def active(self) -> bool:
+        return self.rates.active
+
+
+#: The registry behind ``--chaos <name>``.
+PROFILES: Dict[str, FaultProfile] = {
+    "off": FaultProfile(name="off"),
+    "light": FaultProfile(
+        name="light",
+        rates=FaultRates(
+            outage=0.002,
+            server_error=0.005, server_error_burst=(1, 2),
+            tarpit=0.002, tarpit_seconds=10.0,
+            truncate_body=0.002,
+            rate_storm=0.003, rate_storm_burst=(1, 2),
+            retry_after_seconds=4.0,
+        ),
+    ),
+    "moderate": FaultProfile(
+        name="moderate",
+        rates=FaultRates(
+            outage=0.004, outage_burst=(1, 2),
+            server_error=0.010, server_error_burst=(1, 3),
+            hang=0.003, hang_seconds=90.0,
+            tarpit=0.004, tarpit_seconds=15.0,
+            truncate_body=0.004,
+            mangle_body=0.003,
+            rate_storm=0.006, rate_storm_burst=(1, 3),
+            retry_after_seconds=6.0,
+            flash_ban=0.0015, flash_ban_requests=2,
+        ),
+    ),
+    "heavy": FaultProfile(
+        name="heavy",
+        rates=FaultRates(
+            outage=0.010, outage_burst=(1, 3),
+            server_error=0.030, server_error_burst=(1, 3),
+            hang=0.008, hang_seconds=120.0,
+            tarpit=0.010, tarpit_seconds=20.0,
+            truncate_body=0.010,
+            mangle_body=0.008,
+            rate_storm=0.015, rate_storm_burst=(2, 3),
+            retry_after_seconds=8.0,
+            retry_after_http_date_share=0.4,
+            flash_ban=0.004, flash_ban_requests=4,
+        ),
+    ),
+}
+
+#: Accepted aliases for the quiet profile.
+_OFF_ALIASES = ("off", "none", "disabled")
+
+
+def resolve_profile(name: str) -> FaultProfile:
+    """Look up a chaos profile by name (case-insensitive)."""
+    key = (name or "off").strip().lower()
+    if key in _OFF_ALIASES:
+        return PROFILES["off"]
+    try:
+        return PROFILES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos profile {name!r}; choose from "
+            f"{', '.join(sorted(PROFILES))}"
+        ) from None
+
+
+__all__ = ["PROFILES", "FaultProfile", "FaultRates", "resolve_profile"]

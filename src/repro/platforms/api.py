@@ -72,9 +72,16 @@ class TimelinePayload:
 
 
 def _status_of(response: Response) -> ApiStatus:
-    if response.status == http.FORBIDDEN:
-        return ApiStatus.FORBIDDEN
-    if response.status == http.NOT_FOUND:
+    if response.status in (http.FORBIDDEN, http.NOT_FOUND):
+        # Platforms answer account-status questions inside their JSON
+        # error envelope.  A 403/404 carrying an HTML body is a
+        # network-layer block (WAF interstitial, crawl ban) and says
+        # nothing about the account — treating it as a platform verdict
+        # would inflate the Section 8 inactive counts.
+        if "json" not in response.content_type:
+            return ApiStatus.ERROR
+        if response.status == http.FORBIDDEN:
+            return ApiStatus.FORBIDDEN
         return ApiStatus.NOT_FOUND
     if response.ok:
         return ApiStatus.ACTIVE

@@ -5,11 +5,21 @@ level: sessions (cookies), redirects, retry with exponential backoff on
 retryable statuses, per-host politeness delays, and robots.txt compliance.
 All timing is charged to the simulated clock, so crawls are deterministic.
 
+The client is hardened against a hostile substrate (see
+:mod:`repro.faults`): requests time out after
+:attr:`ClientConfig.timeout_seconds` of simulated time, transient
+transport failures (connect errors, timeouts) are retried with the same
+backoff as retryable statuses, each host has a finite *retry budget* per
+crawl epoch, and a per-host circuit breaker
+(:class:`~repro.web.breaker.CircuitBreaker`) fast-fails requests to
+hosts that keep failing, probing them again after a cooldown.
+
 Every request is observable: the client keeps per-host counters and
 retry/politeness overhead in :class:`ClientStats`, and — when handed a
 :class:`~repro.obs.telemetry.Telemetry` — records
-``http_requests_total{host,status}``, retry/robots counters, a sim-time
-latency histogram, and a span per top-level request.
+``http_requests_total{host,status}``, retry/robots/timeout counters,
+breaker state gauges, a sim-time latency histogram, and a span per
+top-level request.
 """
 
 from __future__ import annotations
@@ -19,15 +29,29 @@ from typing import Dict, Optional
 
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.web import http
+from repro.web.breaker import STATE_CODES, BreakerConfig, CircuitBreaker
 from repro.web.http import (
+    CircuitOpen,
+    ConnectionFailed,
     Request,
     RequestRejected,
+    RequestTimeout,
     Response,
     TooManyRedirects,
 )
 from repro.web.robots import RobotsPolicy
 from repro.web.server import Internet
 from repro.web.url import join_url, url_host, url_path
+
+#: Statuses that count as host failures for the circuit breaker.  429 is
+#: deliberately absent: a throttling host is alive, and backoff — not the
+#: breaker — is the right response.
+_BREAKER_FAILURE_CODES = frozenset({
+    http.INTERNAL_SERVER_ERROR,
+    http.BAD_GATEWAY,
+    http.SERVICE_UNAVAILABLE,
+    http.GATEWAY_TIMEOUT,
+})
 
 
 @dataclass
@@ -44,6 +68,14 @@ class ClientConfig:
     #: Honour robots.txt on public (non-onion) hosts.
     respect_robots: bool = True
     via_tor: bool = False
+    #: Give up on a response after this much simulated time (None = never).
+    #: Hung servers otherwise stall the crawl forever.
+    timeout_seconds: Optional[float] = 30.0
+    #: Retries allowed per host per crawl epoch; once spent, transient
+    #: failures surface immediately instead of backing off again.
+    retry_budget_per_host: int = 64
+    #: Per-host circuit breaker (None disables breaking entirely).
+    breaker: Optional[BreakerConfig] = field(default_factory=BreakerConfig)
 
 
 @dataclass
@@ -65,6 +97,10 @@ class ClientStats:
     retry_wait_seconds: float = 0.0
     #: Simulated seconds spent waiting for per-host politeness spacing.
     politeness_wait_seconds: float = 0.0
+    #: Requests abandoned because the server exceeded the client timeout.
+    timeouts: int = 0
+    #: Requests fast-failed by an open circuit breaker.
+    breaker_fast_fails: int = 0
 
     def record(self, status: int, host: Optional[str] = None) -> None:
         self.requests_sent += 1
@@ -90,6 +126,8 @@ class HttpClient:
         self.stats = ClientStats()
         self._robots_cache: Dict[str, Optional[RobotsPolicy]] = {}
         self._last_request_at: Dict[str, float] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._retry_budget: Dict[str, int] = {}
         self.telemetry = telemetry or NULL_TELEMETRY
         metrics = self.telemetry.metrics
         self._m_requests = metrics.counter(
@@ -117,6 +155,24 @@ class HttpClient:
             "simulated seconds per top-level request (incl. waits)",
             labels=("host",),
         )
+        self._m_timeouts = metrics.counter(
+            "http_timeouts_total", "requests abandoned at the client timeout",
+            labels=("host",),
+        )
+        self._m_breaker_state = metrics.gauge(
+            "circuit_breaker_state",
+            "breaker state per host: 0 closed, 1 open, 2 half-open",
+            labels=("host",),
+        )
+        self._m_breaker_transitions = metrics.counter(
+            "circuit_breaker_transitions_total",
+            "breaker transitions, by host and new state",
+            labels=("host", "to"),
+        )
+        self._m_breaker_fast_fail = metrics.counter(
+            "circuit_breaker_fast_fails_total",
+            "requests rejected by an open breaker", labels=("host",),
+        )
 
     # -- public API ----------------------------------------------------------
 
@@ -124,6 +180,28 @@ class HttpClient:
     def clock(self):
         """The simulated clock this client charges its time to."""
         return self._internet.clock
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Start a new crawl epoch (a collection iteration).
+
+        Iterations are days apart in simulated time: breakers would have
+        cooled down, retry budgets replenished, and politeness spacing
+        elapsed long ago.  The robots cache is dropped too — a week-old
+        robots.txt must be re-checked, and re-fetching it at every epoch
+        keeps the per-host request sequence (and therefore the seeded
+        fault stream) identical between a resumed crawl and an
+        uninterrupted one (see ``tests/integration/test_kill_resume.py``).
+        """
+        for breaker in self._breakers.values():
+            breaker.reset()
+        self._retry_budget.clear()
+        self._last_request_at.clear()
+        self._robots_cache.clear()
+
+    def breaker_state(self, host: str) -> str:
+        """The breaker state for ``host`` ("closed" when untracked)."""
+        breaker = self._breakers.get(host)
+        return breaker.state if breaker is not None else "closed"
 
     def get(self, url: str, **params: str) -> Response:
         return self.request("GET", url, params={k: str(v) for k, v in params.items()})
@@ -182,19 +260,70 @@ class HttpClient:
         attempt = 0
         backoff = self.config.backoff_base_seconds
         host = url_host(url)
+        breaker = self._breaker_for(host)
         while True:
-            response = self._send_once(method, url, params, form)
-            if response.status not in http.RETRYABLE_CODES or attempt >= self.config.max_retries:
+            if breaker is not None and not breaker.allow():
+                self.stats.breaker_fast_fails += 1
+                self._m_breaker_fast_fail.inc(host=host)
+                raise CircuitOpen(f"circuit breaker open for {host}")
+            failure: Optional[http.HttpError] = None
+            response: Optional[Response] = None
+            try:
+                response = self._send_once(method, url, params, form)
+            except (ConnectionFailed, RequestTimeout) as exc:
+                failure = exc
+            if breaker is not None:
+                if failure is not None or response.status in _BREAKER_FAILURE_CODES:
+                    breaker.record_failure()
+                elif response.status != http.TOO_MANY_REQUESTS:
+                    # 429 is neutral: alive but throttling.
+                    breaker.record_success()
+            if failure is None and response.status not in http.RETRYABLE_CODES:
+                return response
+            if attempt >= self.config.max_retries or not self._take_retry_token(host):
+                if failure is not None:
+                    raise failure
                 return response
             attempt += 1
             self.stats.retries += 1
             self._m_retries.inc(host=host)
-            retry_after = response.header("Retry-After")
-            wait = max(float(retry_after) if retry_after else 0.0, backoff)
+            retry_after = (
+                http.parse_retry_after(
+                    response.header("Retry-After"), self._internet.clock.now()
+                )
+                if response is not None else None
+            )
+            wait = max(retry_after if retry_after is not None else 0.0, backoff)
             self.stats.retry_wait_seconds += wait
             self._m_retry_wait.inc(wait, host=host)
             self._internet.clock.advance(wait)
             backoff *= self.config.backoff_multiplier
+
+    def _breaker_for(self, host: str) -> Optional[CircuitBreaker]:
+        if self.config.breaker is None:
+            return None
+        breaker = self._breakers.get(host)
+        if breaker is None:
+            def on_transition(old: str, new: str, host: str = host) -> None:
+                self._m_breaker_state.set(STATE_CODES[new], host=host)
+                self._m_breaker_transitions.inc(host=host, to=new)
+                self.telemetry.events.emit(
+                    f"breaker.{new}", host=host, previous=old,
+                    level="warning" if new == "open" else "info",
+                )
+            breaker = CircuitBreaker(
+                self._internet.clock, self.config.breaker, on_transition
+            )
+            self._m_breaker_state.set(STATE_CODES[breaker.state], host=host)
+            self._breakers[host] = breaker
+        return breaker
+
+    def _take_retry_token(self, host: str) -> bool:
+        remaining = self._retry_budget.get(host, self.config.retry_budget_per_host)
+        if remaining <= 0:
+            return False
+        self._retry_budget[host] = remaining - 1
+        return True
 
     def _send_once(
         self,
@@ -214,10 +343,21 @@ class HttpClient:
             form=dict(form or {}),
             cookies=dict(self.cookies.get(host, {})),
         )
+        fetch_started = self._internet.clock.now()
         response = self._internet.fetch(
             request, client_id=self.client_id, via_tor=self.config.via_tor
         )
         self._last_request_at[host] = self._internet.clock.now()
+        elapsed = self._internet.clock.now() - fetch_started
+        timeout = self.config.timeout_seconds
+        if timeout is not None and elapsed > timeout:
+            # The answer arrived after the client hung up: discard it.
+            self.stats.timeouts += 1
+            self._m_timeouts.inc(host=host)
+            raise RequestTimeout(
+                f"no response from {host} within {timeout:.0f}s "
+                f"(server took {elapsed:.0f}s)"
+            )
         self.stats.record(response.status, host=host)
         self._m_requests.inc(host=host, status=str(response.status))
         if response.set_cookies:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import datetime as _dt
+import email.utils
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -15,10 +17,21 @@ FORBIDDEN = 403
 NOT_FOUND = 404
 TOO_MANY_REQUESTS = 429
 INTERNAL_SERVER_ERROR = 500
+BAD_GATEWAY = 502
 SERVICE_UNAVAILABLE = 503
+GATEWAY_TIMEOUT = 504
 
 REDIRECT_CODES = frozenset({MOVED_PERMANENTLY, FOUND})
-RETRYABLE_CODES = frozenset({TOO_MANY_REQUESTS, INTERNAL_SERVER_ERROR, SERVICE_UNAVAILABLE})
+#: Transient server answers worth retrying.  502/504 are what a flaky
+#: reverse proxy in front of a marketplace emits, and the fault layer
+#: injects them alongside 500/503.
+RETRYABLE_CODES = frozenset({
+    TOO_MANY_REQUESTS,
+    INTERNAL_SERVER_ERROR,
+    BAD_GATEWAY,
+    SERVICE_UNAVAILABLE,
+    GATEWAY_TIMEOUT,
+})
 
 REASONS = {
     OK: "OK",
@@ -30,8 +43,15 @@ REASONS = {
     NOT_FOUND: "Not Found",
     TOO_MANY_REQUESTS: "Too Many Requests",
     INTERNAL_SERVER_ERROR: "Internal Server Error",
+    BAD_GATEWAY: "Bad Gateway",
     SERVICE_UNAVAILABLE: "Service Unavailable",
+    GATEWAY_TIMEOUT: "Gateway Timeout",
 }
+
+#: Wall-clock instant that simulated second 0 corresponds to (the start
+#: of the paper's collection window).  HTTP-date headers — notably
+#: ``Retry-After`` — are interpreted against this epoch.
+SIM_EPOCH = _dt.datetime(2024, 2, 1, tzinfo=_dt.timezone.utc)
 
 
 class HttpError(Exception):
@@ -42,12 +62,54 @@ class ConnectionFailed(HttpError):
     """The hostname does not resolve or the site refused the connection."""
 
 
+class RequestTimeout(HttpError):
+    """The server took longer than the client's timeout to answer."""
+
+
+class CircuitOpen(HttpError):
+    """The client's per-host circuit breaker is open; request not sent."""
+
+
 class TooManyRedirects(HttpError):
     """A redirect chain exceeded the client's limit."""
 
 
 class RequestRejected(HttpError):
     """The client refused to send the request (e.g. robots.txt disallows)."""
+
+
+def sim_http_date(sim_now: float) -> str:
+    """Format a simulated timestamp as an RFC 7231 HTTP-date."""
+    instant = SIM_EPOCH + _dt.timedelta(seconds=sim_now)
+    return email.utils.format_datetime(instant, usegmt=True)
+
+
+def parse_retry_after(value: Optional[str], sim_now: float = 0.0) -> Optional[float]:
+    """Parse a ``Retry-After`` header into a non-negative delay in seconds.
+
+    RFC 7231 allows both forms: delta-seconds (``"120"``) and an
+    HTTP-date (``"Fri, 31 Dec 1999 23:59:59 GMT"``).  Dates are resolved
+    against :data:`SIM_EPOCH` plus ``sim_now``.  Returns ``None`` for a
+    missing or unparseable header, so callers fall back to their own
+    backoff instead of crashing on a hostile server.
+    """
+    if not value:
+        return None
+    text = value.strip()
+    try:
+        return max(0.0, float(text))
+    except ValueError:
+        pass
+    try:
+        instant = email.utils.parsedate_to_datetime(text)
+    except (TypeError, ValueError):
+        return None
+    if instant is None:
+        return None
+    if instant.tzinfo is None:
+        instant = instant.replace(tzinfo=_dt.timezone.utc)
+    delta = (instant - SIM_EPOCH).total_seconds() - sim_now
+    return max(0.0, delta)
 
 
 @dataclass
@@ -140,9 +202,11 @@ def error_response(status: int, message: str = "") -> Response:
 
 
 __all__ = [
+    "BAD_GATEWAY",
     "BAD_REQUEST",
     "FORBIDDEN",
     "FOUND",
+    "GATEWAY_TIMEOUT",
     "INTERNAL_SERVER_ERROR",
     "MOVED_PERMANENTLY",
     "NOT_FOUND",
@@ -151,16 +215,21 @@ __all__ = [
     "REDIRECT_CODES",
     "RETRYABLE_CODES",
     "SERVICE_UNAVAILABLE",
+    "SIM_EPOCH",
     "TOO_MANY_REQUESTS",
     "UNAUTHORIZED",
+    "CircuitOpen",
     "ConnectionFailed",
     "HttpError",
     "Request",
     "RequestRejected",
+    "RequestTimeout",
     "Response",
     "TooManyRedirects",
     "error_response",
     "html_response",
     "json_like_response",
+    "parse_retry_after",
     "redirect_response",
+    "sim_http_date",
 ]

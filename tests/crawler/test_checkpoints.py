@@ -3,12 +3,15 @@
 import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.crawler.checkpoints import CrawlCheckpoint
 from repro.crawler.crawler import IterationCrawl
-from repro.core.dataset import ListingRecord
+from repro.core.dataset import ListingRecord, SellerRecord
 from repro.marketplaces.public import PublicMarketplaceSite
 from repro.marketplaces.registry import MARKETPLACES
+from repro.obs.telemetry import Telemetry
 from repro.synthetic import WorldBuilder, WorldConfig
 from repro.web.client import ClientConfig, HttpClient
 from repro.web.server import Internet
@@ -106,3 +109,118 @@ class TestResume:
         dataset = rerun.run()
         assert client.stats.requests_sent == requests_before  # nothing refetched
         assert dataset.listings  # state came from the checkpoint
+
+
+class TestCorruptTolerance:
+    def test_corrupt_json_quarantined_and_fresh_start(self, tmp_path):
+        path = str(tmp_path / "crawl.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"completed_iterations": 2, "tracker": {')  # torn
+        telemetry = Telemetry()
+        checkpoint = CrawlCheckpoint.load_or_empty(path, telemetry=telemetry)
+        assert checkpoint.completed_iterations == 0
+        assert checkpoint.tracker == {}
+        assert not os.path.exists(path)  # moved aside, not left to re-trip
+        assert os.path.exists(path + ".corrupt")
+        events = [e for e in telemetry.events.events
+                  if e.kind == "checkpoint.corrupt"]
+        assert len(events) == 1
+        assert events[0].level == "error"
+        assert events[0].fields["quarantine"] == path + ".corrupt"
+
+    def test_valid_json_wrong_shape_quarantined(self, tmp_path):
+        path = str(tmp_path / "crawl.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"something": "else"}')  # parses, wrong schema
+        checkpoint = CrawlCheckpoint.load_or_empty(path)
+        assert checkpoint.completed_iterations == 0
+        assert os.path.exists(path + ".corrupt")
+
+    def test_unknown_record_field_quarantined(self, tmp_path):
+        # A checkpoint from an incompatible (newer) schema version.
+        path = str(tmp_path / "crawl.json")
+        good = CrawlCheckpoint(completed_iterations=1)
+        good.save(path)
+        import json as _json
+        with open(path, encoding="utf-8") as handle:
+            payload = _json.load(handle)
+        payload["tracker"] = {"k": {"offer_url": "u", "marketplace": "m",
+                                    "not_a_field": 1}}
+        with open(path, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle)
+        checkpoint = CrawlCheckpoint.load_or_empty(path)
+        assert checkpoint.tracker == {}
+        assert os.path.exists(path + ".corrupt")
+
+    def test_healthy_checkpoint_still_loads(self, tmp_path):
+        path = str(tmp_path / "crawl.json")
+        CrawlCheckpoint(completed_iterations=3, sim_seconds=120.5).save(path)
+        loaded = CrawlCheckpoint.load_or_empty(path, telemetry=Telemetry())
+        assert loaded.completed_iterations == 3
+        assert loaded.sim_seconds == 120.5
+        assert not os.path.exists(path + ".corrupt")
+
+
+# -- property: save -> load is the identity ---------------------------------
+
+_opt_text = st.none() | st.text(max_size=20)
+
+_listings = st.builds(
+    ListingRecord,
+    offer_url=st.text(min_size=1, max_size=40),
+    marketplace=st.sampled_from(["Accsmarket", "InstaSale", "MidMan"]),
+    title=st.text(max_size=30),
+    platform=_opt_text,
+    price_usd=st.none() | st.floats(0, 1e6, allow_nan=False),
+    followers_claimed=st.none() | st.integers(0, 10**9),
+    seller_url=_opt_text,
+    profile_url=_opt_text,
+    verified_claim=st.booleans(),
+    # Delisted listings: last_seen may lag far behind the crawl front.
+    first_seen_iteration=st.integers(0, 3),
+    last_seen_iteration=st.integers(0, 10),
+    provenance=st.sampled_from(["complete", "partial:truncated_html"]),
+)
+
+_sellers = st.builds(
+    SellerRecord,
+    seller_url=st.text(min_size=1, max_size=40),
+    marketplace=st.sampled_from(["Accsmarket", "InstaSale"]),
+    name=_opt_text,
+    country=_opt_text,
+    rating=st.none() | st.floats(0, 5, allow_nan=False),
+    joined=_opt_text,
+)
+
+
+class TestCheckpointRoundtripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        tracker=st.dictionaries(st.text(min_size=1, max_size=30), _listings,
+                                max_size=8),
+        # Sellers are saved independently of the tracker, so sellers
+        # whose every listing has delisted (orphans) must survive too.
+        sellers=st.dictionaries(st.text(min_size=1, max_size=30), _sellers,
+                                max_size=8),
+        completed=st.integers(0, 6),
+        sim_seconds=st.floats(0, 1e7, allow_nan=False),
+        series=st.lists(st.integers(0, 1000), max_size=6),
+    )
+    def test_save_load_identity(self, tracker, sellers, completed,
+                                sim_seconds, series):
+        checkpoint = CrawlCheckpoint(
+            completed_iterations=completed,
+            active_per_iteration=series,
+            cumulative_per_iteration=list(reversed(series)),
+            sim_seconds=sim_seconds,
+            tracker=tracker,
+            sellers=sellers,
+        )
+        # tmp_path is function-scoped and hypothesis reuses the test
+        # function across examples, so manage the directory ourselves.
+        import tempfile
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "prop.json")
+            checkpoint.save(path)
+            loaded = CrawlCheckpoint.load(path)
+        assert loaded == checkpoint

@@ -71,3 +71,39 @@ class TestConstructors:
     def test_retryable_codes(self):
         assert http.TOO_MANY_REQUESTS in http.RETRYABLE_CODES
         assert http.NOT_FOUND not in http.RETRYABLE_CODES
+
+
+class TestRetryAfter:
+    """Both RFC 7231 Retry-After forms, plus hostile-server garbage."""
+
+    def test_delta_seconds(self):
+        assert http.parse_retry_after("120") == 120.0
+        assert http.parse_retry_after("3.5") == 3.5
+        assert http.parse_retry_after(" 7 ") == 7.0
+
+    def test_negative_delta_clamped_to_zero(self):
+        assert http.parse_retry_after("-30") == 0.0
+
+    def test_http_date_resolved_against_sim_clock(self):
+        header = http.sim_http_date(120.0)
+        assert http.parse_retry_after(header, sim_now=30.0) == 90.0
+
+    def test_http_date_in_the_past_clamped_to_zero(self):
+        header = http.sim_http_date(10.0)
+        assert http.parse_retry_after(header, sim_now=50.0) == 0.0
+
+    def test_http_date_roundtrip_format(self):
+        # sim_http_date emits the IMF-fixdate form the parser accepts.
+        header = http.sim_http_date(0.0)
+        assert header.endswith("GMT")
+        assert http.parse_retry_after(header, sim_now=0.0) == 0.0
+
+    def test_garbage_returns_none(self):
+        assert http.parse_retry_after("soon") is None
+        assert http.parse_retry_after("Fri, 99 Not 2024") is None
+        assert http.parse_retry_after("") is None
+        assert http.parse_retry_after(None) is None
+
+    def test_502_and_504_are_retryable(self):
+        assert http.BAD_GATEWAY in http.RETRYABLE_CODES
+        assert http.GATEWAY_TIMEOUT in http.RETRYABLE_CODES
