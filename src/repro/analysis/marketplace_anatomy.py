@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dataset import ListingRecord, MeasurementDataset, SellerRecord
+from repro.util.money import is_valid_price
 from repro.util.stats import Summary, counter_topn, median, summarize
 
 #: Keyword rules for the eight description strategies (Section 4.1's
@@ -200,7 +201,8 @@ class MarketplaceAnatomy:
 
     def _monetization(self, listings: List[ListingRecord]) -> Summary:
         revenues = [
-            l.monthly_revenue_usd for l in listings if l.monthly_revenue_usd is not None
+            l.monthly_revenue_usd for l in listings
+            if is_valid_price(l.monthly_revenue_usd)
         ]
         if not revenues:
             return Summary(count=0, minimum=0, median=0, maximum=0, mean=0, total=0)
@@ -232,7 +234,9 @@ class MarketplaceAnatomy:
     # -- prices ----------------------------------------------------------------------------
 
     def price_report(self, listings: List[ListingRecord]) -> PriceReport:
-        priced = [l for l in listings if l.price_usd is not None]
+        # is_valid_price (not a None check): a NaN that slipped past the
+        # contract boundary must not poison every aggregate below.
+        priced = [l for l in listings if is_valid_price(l.price_usd)]
         outliers = [l for l in priced if l.price_usd >= self.outlier_threshold]
         regular = [l for l in priced if l.price_usd < self.outlier_threshold]
         by_platform: Dict[str, List[float]] = {}

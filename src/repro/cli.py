@@ -33,16 +33,14 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analysis import (
-    AccountSetupAnalysis,
-    EfficacyAnalysis,
-    MarketplaceAnatomy,
-    NetworkAnalysis,
-    ScamPipelineConfig,
-    ScamPostAnalysis,
-    UndergroundAnalysis,
-)
+from repro.analysis import MarketplaceAnatomy
 from repro.analysis.figures import fig3_outlier, fig5_descriptions, listing_dynamics
+from repro.analysis.suite import STAGE_NAMES, AnalysisResults, run_analysis_suite
+from repro.contracts import (
+    ContractViolationError,
+    QuarantineStore,
+    StageSupervisor,
+)
 from repro.core import MeasurementDataset, Study, StudyConfig
 from repro.core import reports
 from repro.marketplaces.channels import CHANNELS
@@ -76,6 +74,8 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         chaos_profile=getattr(args, "chaos", "off") or "off",
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         resume=bool(getattr(args, "resume", False)),
+        strict_contracts=bool(getattr(args, "strict_contracts", False)),
+        fail_stages=tuple(getattr(args, "fail_stage", None) or ()),
     )
 
 
@@ -96,44 +96,92 @@ def _export_telemetry(args: argparse.Namespace, config: StudyConfig,
     telemetry.export(out_dir)
     if getattr(result, "scorecard", None) is not None:
         write_scorecard(out_dir, result.scorecard)
+    if getattr(result, "quarantine", None) is not None:
+        result.quarantine.write_jsonl(out_dir)
     manifest = build_manifest(config, result, telemetry, command=sys.argv[1:])
     write_manifest(out_dir, manifest)
     print(f"telemetry written to {out_dir}", file=sys.stderr)
 
 
+def _degraded_line(analyses: AnalysisResults, stage: str, section: str) -> str:
+    failure = next((f for f in analyses.failures if f.stage == stage), None)
+    detail = f" ({failure.kind}: {failure.detail})" if failure else ""
+    return f"[degraded] {section}: stage '{stage}' failed{detail}"
+
+
 def _render_all(dataset: MeasurementDataset, scale: float,
                 meta: Optional[dict] = None, out=None,
-                telemetry: Optional[Telemetry] = None) -> None:
-    """Render every table and figure the analyses support."""
+                telemetry: Optional[Telemetry] = None,
+                analyses: Optional[AnalysisResults] = None,
+                strict: bool = False,
+                fail_stages=()) -> None:
+    """Render every table and figure the analyses support.
+
+    Stages run under a :class:`StageSupervisor` (unless precomputed
+    ``analyses`` are passed in, e.g. from a telemetry-enabled study run):
+    a failed stage renders a one-line ``[degraded]`` marker in place of
+    its tables instead of killing the report.
+    """
     stream = out if out is not None else sys.stdout
 
     def write(text: str) -> None:
         print(text + "\n", file=stream)
-    anatomy = MarketplaceAnatomy().run(dataset)
+
+    if analyses is None:
+        supervisor = StageSupervisor(
+            telemetry if telemetry is not None and telemetry.enabled else None,
+            strict=strict,
+            fail_stages=tuple(fail_stages),
+        )
+        analyses = run_analysis_suite(dataset, supervisor, telemetry=telemetry)
+
     write(reports.render_table9(CHANNELS))
-    write(reports.render_table1(anatomy, scale))
-    write(reports.render_table2(anatomy, scale))
+    anatomy = analyses.report("anatomy")
+    if anatomy is not None:
+        write(reports.render_table1(anatomy, scale))
+        write(reports.render_table2(anatomy, scale))
+    else:
+        write(_degraded_line(analyses, "anatomy",
+                             "section 4.1 (tables 1-2, anatomy extras)"))
     if meta and meta.get("payment_methods"):
         matrix = MarketplaceAnatomy.payment_matrix(
             {m: [tuple(p) for p in pairs] for m, pairs in meta["payment_methods"].items()}
         )
         write(reports.render_table3(matrix))
-    write(reports.render_anatomy_extras(anatomy, scale))
-    setup = AccountSetupAnalysis().run(dataset)
-    write(reports.render_table4(setup))
-    write(reports.render_fig4(setup))
-    scam = ScamPostAnalysis(
-        ScamPipelineConfig(dbscan_eps=0.9), telemetry=telemetry
-    ).run(dataset)
-    write(reports.render_table5(scam, scale))
-    write(reports.render_table6(scam, scale))
-    network = NetworkAnalysis().run(dataset)
-    write(reports.render_table7(network, scale))
-    write(reports.render_fig5(fig5_descriptions(network)))
-    efficacy = EfficacyAnalysis().run(dataset)
-    write(reports.render_table8(efficacy))
-    underground = UndergroundAnalysis().run(dataset.underground)
-    write(reports.render_underground(underground))
+    if anatomy is not None:
+        write(reports.render_anatomy_extras(anatomy, scale))
+    setup = analyses.report("account_setup")
+    if setup is not None:
+        write(reports.render_table4(setup))
+        write(reports.render_fig4(setup))
+    else:
+        write(_degraded_line(analyses, "account_setup",
+                             "section 5 (table 4, figure 4)"))
+    scam = analyses.report("scam_posts")
+    if scam is not None:
+        write(reports.render_table5(scam, scale))
+        write(reports.render_table6(scam, scale))
+    else:
+        write(_degraded_line(analyses, "scam_posts",
+                             "section 6 (tables 5-6)"))
+    network = analyses.report("network")
+    if network is not None:
+        write(reports.render_table7(network, scale))
+        write(reports.render_fig5(fig5_descriptions(network)))
+    else:
+        write(_degraded_line(analyses, "network",
+                             "section 7 (table 7, figure 5)"))
+    efficacy = analyses.report("efficacy")
+    if efficacy is not None:
+        write(reports.render_table8(efficacy))
+    else:
+        write(_degraded_line(analyses, "efficacy", "section 8 (table 8)"))
+    underground = analyses.report("underground")
+    if underground is not None:
+        write(reports.render_underground(underground))
+    else:
+        write(_degraded_line(analyses, "underground",
+                             "section 4.2 (underground forums)"))
     if meta and meta.get("active_per_iteration"):
         dynamics = listing_dynamics(
             meta["active_per_iteration"], meta["cumulative_per_iteration"]
@@ -145,9 +193,15 @@ def _render_all(dataset: MeasurementDataset, scale: float,
 def cmd_run(args: argparse.Namespace) -> int:
     config = _study_config(args)
     telemetry = _telemetry_for(args)
-    result = Study(config, telemetry=telemetry).run()
+    try:
+        result = Study(config, telemetry=telemetry).run()
+    except ContractViolationError as exc:
+        print(f"strict contracts: {exc}", file=sys.stderr)
+        return 3
     os.makedirs(args.out, exist_ok=True)
     result.dataset.save(args.out)
+    if result.quarantine is not None:
+        result.quarantine.write_jsonl(args.out)
     meta = {
         "seed": args.seed,
         "scale": args.scale,
@@ -168,7 +222,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    dataset = MeasurementDataset.load(args.run_dir)
+    # Tolerant load: corrupt JSONL lines (e.g. a truncated final line
+    # after a SIGKILL) are quarantined and reported, not fatal.
+    store = QuarantineStore()
+    dataset = MeasurementDataset.load(args.run_dir, quarantine=store)
+    if store.total:
+        print(
+            f"warning: skipped {store.total} corrupt dataset line(s): "
+            + ", ".join(f"{k}={v}" for k, v in store.counts_by_rule().items()),
+            file=sys.stderr,
+        )
     meta_path = os.path.join(args.run_dir, META_FILENAME)
     meta = None
     if os.path.exists(meta_path):
@@ -185,7 +248,11 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_tables(args: argparse.Namespace) -> int:
     config = _study_config(args)
     telemetry = _telemetry_for(args)
-    result = Study(config, telemetry=telemetry).run()
+    try:
+        result = Study(config, telemetry=telemetry).run()
+    except ContractViolationError as exc:
+        print(f"strict contracts: {exc}", file=sys.stderr)
+        return 3
     meta = {
         "active_per_iteration": result.active_per_iteration,
         "cumulative_per_iteration": result.cumulative_per_iteration,
@@ -194,7 +261,18 @@ def cmd_tables(args: argparse.Namespace) -> int:
             for market, pairs in result.payment_methods.items()
         },
     }
-    _render_all(result.dataset, args.scale, meta, telemetry=telemetry)
+    try:
+        # Reuse the supervised suite the study already ran (telemetry
+        # path); otherwise run it here under a fresh supervisor.
+        _render_all(
+            result.dataset, args.scale, meta, telemetry=telemetry,
+            analyses=result.analyses,
+            strict=config.strict_contracts,
+            fail_stages=config.fail_stages,
+        )
+    except ContractViolationError as exc:
+        print(f"strict contracts: {exc}", file=sys.stderr)
+        return 3
     _export_telemetry(args, config, result, telemetry)
     return 0
 
@@ -289,6 +367,15 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry-out", default=None, metavar="DIR",
                         help="enable telemetry and write manifest.json, "
                              "metrics.json, trace.jsonl, events.jsonl here")
+    parser.add_argument("--strict-contracts", action="store_true",
+                        help="treat any quarantined record as a hard "
+                             "error (exit 3) instead of dead-lettering "
+                             "it to quarantine.jsonl")
+    parser.add_argument("--fail-stage", action="append", metavar="STAGE",
+                        choices=list(STAGE_NAMES),
+                        help="deliberately fail the named analysis stage "
+                             "(repeatable) to drill degraded reporting; "
+                             f"one of: {', '.join(STAGE_NAMES)}")
 
 
 def build_parser() -> argparse.ArgumentParser:

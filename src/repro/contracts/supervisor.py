@@ -1,0 +1,164 @@
+"""Stage supervision: isolation boundaries around analysis stages.
+
+A multi-iteration study must not die because one analysis stage hit a
+record shape it could not digest.  :class:`StageSupervisor` wraps each
+stage invocation with a per-stage :class:`StagePolicy`: transient errors
+are retried up to ``retries`` times; deterministic errors (or exhausted
+retries) become a typed :class:`StageFailure` recorded on the supervisor
+and the stage's report degrades to ``None`` — the run continues.
+
+Supervisor decisions are pure functions of the stage callables and the
+(seeded, deterministic) dataset, so a resumed run replays the exact same
+``stage.*`` events and failures as an uninterrupted one.
+
+``fail_stages`` injects a deterministic failure into named stages — the
+CLI's ``--fail-stage`` flag uses it for degraded-run drills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class InjectedStageError(RuntimeError):
+    """Deliberate failure injected via ``fail_stages`` / ``--fail-stage``."""
+
+
+class TransientStageError(RuntimeError):
+    """An error the policy may retry (analogue of a 5xx, not a 4xx)."""
+
+
+@dataclass(frozen=True)
+class StagePolicy:
+    """How the supervisor treats one stage's errors."""
+
+    #: Extra attempts after the first, for transient errors only.
+    retries: int = 0
+    #: Exception types considered transient (retryable).
+    transient: Tuple[type, ...] = (TransientStageError, OSError)
+    #: ``skip`` records a StageFailure and degrades; ``raise`` propagates
+    #: (strict mode forces ``raise`` for every stage).
+    on_error: str = "skip"
+
+
+DEFAULT_POLICY = StagePolicy()
+
+
+@dataclass
+class StageFailure:
+    """Typed record of one supervised stage that did not produce a report."""
+
+    stage: str
+    kind: str  # exception class name
+    detail: str
+    attempts: int = 1
+    disposition: str = "skipped"
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "kind": self.kind,
+            "detail": self.detail,
+            "attempts": self.attempts,
+            "disposition": self.disposition,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageFailure":
+        return cls(
+            stage=data["stage"],
+            kind=data.get("kind", "Exception"),
+            detail=data.get("detail", ""),
+            attempts=data.get("attempts", 1),
+            disposition=data.get("disposition", "skipped"),
+        )
+
+
+class StageSupervisor:
+    """Runs stage callables inside an isolation boundary.
+
+    Collected :class:`StageFailure`s land in ``failures`` in execution
+    order.  With ``strict=True`` the first stage failure propagates
+    instead — CI uses this to prove a healthy pipeline has none.
+    """
+
+    def __init__(self, telemetry=None, strict: bool = False,
+                 fail_stages: Tuple[str, ...] = ()) -> None:
+        self.strict = strict
+        self.fail_stages = tuple(fail_stages)
+        self.failures: List[StageFailure] = []
+        self._telemetry = telemetry
+        self._failures_metric = None
+        if telemetry is not None:
+            self._failures_metric = telemetry.metrics.counter(
+                "stage_failures_total",
+                "supervised stages that degraded instead of reporting",
+                labels=("stage", "kind"),
+            )
+
+    def failure_for(self, stage: str) -> Optional[StageFailure]:
+        for failure in self.failures:
+            if failure.stage == stage:
+                return failure
+        return None
+
+    def run(self, stage: str, fn: Callable, *args,
+            policy: StagePolicy = DEFAULT_POLICY, **kwargs):
+        """Invoke ``fn(*args, **kwargs)`` under supervision.
+
+        Returns the stage's report, or ``None`` when the stage failed
+        and the policy degraded it.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if stage in self.fail_stages:
+                    raise InjectedStageError(
+                        f"stage {stage!r} failed by --fail-stage injection"
+                    )
+                result = fn(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - the boundary itself
+                transient = isinstance(exc, policy.transient) and not isinstance(
+                    exc, InjectedStageError
+                )
+                if transient and attempts <= policy.retries:
+                    self._emit("stage.retry", "warning", stage=stage,
+                               attempt=attempts,
+                               error_kind=type(exc).__name__,
+                               detail=str(exc))
+                    continue
+                failure = StageFailure(
+                    stage=stage,
+                    kind=type(exc).__name__,
+                    detail=str(exc),
+                    attempts=attempts,
+                    disposition="skipped",
+                )
+                self.failures.append(failure)
+                if self._failures_metric is not None:
+                    self._failures_metric.inc(stage=stage, kind=failure.kind)
+                self._emit("stage.failed", "error", stage=stage,
+                           error_kind=failure.kind, detail=failure.detail,
+                           attempts=attempts)
+                if self.strict or policy.on_error == "raise":
+                    raise
+                return None
+            else:
+                self._emit("stage.ok", "debug", stage=stage, attempts=attempts)
+                return result
+
+    def _emit(self, kind: str, level: str, **fields) -> None:
+        if self._telemetry is not None:
+            self._telemetry.events.emit(kind, level=level, **fields)
+
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "InjectedStageError",
+    "StageFailure",
+    "StagePolicy",
+    "StageSupervisor",
+    "TransientStageError",
+]

@@ -16,6 +16,36 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+#: Provenance value of a record with no degradation flags.
+PROVENANCE_COMPLETE = "complete"
+
+
+def provenance_flags(record) -> List[str]:
+    """The record's provenance trail as a list (empty when complete).
+
+    Handles both the historical single-value form (``"partial:<reason>"``)
+    and the comma-joined trail: a single value is simply a one-flag trail.
+    """
+    value = getattr(record, "provenance", PROVENANCE_COMPLETE)
+    if not value or value == PROVENANCE_COMPLETE:
+        return []
+    return [flag for flag in value.split(",") if flag]
+
+
+def add_provenance(record, flag: str) -> None:
+    """Append ``flag`` to the record's provenance trail.
+
+    Idempotent (a repeated flag is not duplicated) and a no-op on record
+    types without a ``provenance`` field (posts, underground).
+    """
+    if not hasattr(record, "provenance"):
+        return
+    flags = provenance_flags(record)
+    if flag in flags:
+        return
+    flags.append(flag)
+    record.provenance = ",".join(flags)
+
 
 @dataclass
 class SellerRecord:
@@ -51,9 +81,10 @@ class ListingRecord:
     first_seen_iteration: int = 0
     last_seen_iteration: int = 0
     #: Data lineage: ``"complete"`` for a clean extraction, or a
-    #: ``"partial:<reason>"`` flag when the page was degraded (truncated
-    #: markup, failed re-fetch, ...) and fields may be missing.
-    provenance: str = "complete"
+    #: comma-joined trail of flags (``"partial:<reason>"``,
+    #: ``"contract:<rule>"``, ...) appended via :func:`add_provenance`.
+    #: Pre-trail files holding a single flag load unchanged.
+    provenance: str = PROVENANCE_COMPLETE
 
     @property
     def has_visible_profile(self) -> bool:
@@ -79,9 +110,10 @@ class ProfileRecord:
     email: Optional[str] = None
     phone: Optional[str] = None
     website: Optional[str] = None
-    #: Data lineage: ``"complete"``, or ``"partial:<reason>"`` when a
-    #: subsidiary fetch (e.g. the timeline) failed and fields are missing.
-    provenance: str = "complete"
+    #: Data lineage trail (see :func:`add_provenance`): ``"complete"``,
+    #: or flags like ``"partial:<reason>"`` when a subsidiary fetch
+    #: (e.g. the timeline) failed and fields are missing.
+    provenance: str = PROVENANCE_COMPLETE
 
     @property
     def is_active(self) -> bool:
@@ -178,8 +210,17 @@ class MeasurementDataset:
                     handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
 
     @classmethod
-    def load(cls, directory: str) -> "MeasurementDataset":
-        """Load a dataset previously written by :meth:`save`."""
+    def load(cls, directory: str,
+             quarantine=None) -> "MeasurementDataset":
+        """Load a dataset previously written by :meth:`save`.
+
+        Corrupt lines — a truncated final line after a SIGKILL, or a
+        payload that no longer matches the record shape — are skipped,
+        not fatal.  When a :class:`repro.contracts.QuarantineStore` is
+        passed as ``quarantine`` each skipped line is dead-lettered
+        there with a machine-readable rule (``jsonl_decode_error`` /
+        ``record_shape_error``); without one they are silently dropped.
+        """
         dataset = cls()
         for name, record_type in _RECORD_TYPES.items():
             path = os.path.join(directory, f"{name}.jsonl")
@@ -189,8 +230,23 @@ class MeasurementDataset:
             with open(path, "r", encoding="utf-8") as handle:
                 for line in handle:
                     line = line.strip()
-                    if line:
-                        records.append(record_type(**json.loads(line)))
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        _quarantine_line(
+                            quarantine, name, "jsonl_decode_error",
+                            str(exc), line,
+                        )
+                        continue
+                    try:
+                        records.append(record_from_dict(record_type, payload))
+                    except TypeError as exc:
+                        _quarantine_line(
+                            quarantine, name, "record_shape_error",
+                            str(exc), line,
+                        )
         return dataset
 
     def merge(self, other: "MeasurementDataset") -> None:
@@ -200,6 +256,33 @@ class MeasurementDataset:
 
     def summary(self) -> Dict[str, int]:
         return {name: len(getattr(self, name)) for name in _RECORD_TYPES}
+
+
+def record_from_dict(record_type, payload: dict):
+    """Build a record from a JSON payload, dropping unknown keys.
+
+    Forward compatibility: a dataset written by a newer schema (extra
+    fields) still loads; a payload that is not a dict or misses required
+    fields raises ``TypeError`` for the caller to quarantine.
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"expected a JSON object, got {type(payload).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(record_type)}
+    return record_type(**{k: v for k, v in payload.items() if k in known})
+
+
+def _quarantine_line(quarantine, record_type: str, rule: str,
+                     reason: str, line: str) -> None:
+    if quarantine is None:
+        return
+    # Deferred import: contracts imports this module.
+    from repro.contracts.quarantine import SOURCE_JSONL_LOAD
+
+    quarantine.quarantine(
+        record_type, rule, reason, raw=line[:500], source=SOURCE_JSONL_LOAD,
+    )
 
 
 def dedup_by(records: Iterable, key) -> List:
@@ -217,9 +300,13 @@ def dedup_by(records: Iterable, key) -> List:
 __all__ = [
     "ListingRecord",
     "MeasurementDataset",
+    "PROVENANCE_COMPLETE",
     "PostRecord",
     "ProfileRecord",
     "SellerRecord",
     "UndergroundRecord",
+    "add_provenance",
     "dedup_by",
+    "provenance_flags",
+    "record_from_dict",
 ]

@@ -18,6 +18,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.suite import AnalysisResults, run_analysis_suite
+from repro.contracts.quarantine import QuarantineStore
+from repro.contracts.schema import ValidationReport, validate_dataset
+from repro.contracts.supervisor import StageFailure, StageSupervisor
 from repro.core.dataset import MeasurementDataset
 from repro.crawler.crawler import CrawlReport, IterationCrawl, MarketplaceCrawler
 from repro.faults import FaultInjector, resolve_profile
@@ -74,6 +78,15 @@ class StudyConfig:
     #: Resume from an existing checkpoint in ``checkpoint_dir`` instead
     #: of starting fresh (the CLI's ``repro run --resume``).
     resume: bool = False
+    #: Run every record through its contract after collection (repairs,
+    #: degrades, quarantines — see :mod:`repro.contracts`).
+    contracts_enabled: bool = True
+    #: Turn the first quarantine or stage failure into a hard error
+    #: (the CLI's ``--strict-contracts``).
+    strict_contracts: bool = False
+    #: Analysis stages to fail deliberately (``--fail-stage``) —
+    #: degraded-run drills and supervisor tests.
+    fail_stages: Tuple[str, ...] = ()
 
     def world_config(self) -> WorldConfig:
         return WorldConfig(
@@ -105,6 +118,14 @@ class StudyResult:
     scorecard: Optional[Scorecard] = None
     #: The fault injector the run crawled through (None when chaos off).
     fault_injector: Optional[FaultInjector] = None
+    #: Contract-validation tally (None when contracts disabled).
+    contracts: Optional[ValidationReport] = None
+    #: The dead-letter store for quarantined records (always present).
+    quarantine: Optional[QuarantineStore] = None
+    #: Supervised analysis reports (None unless the scorecard path ran).
+    analyses: Optional[AnalysisResults] = None
+    #: Stages that degraded instead of reporting.
+    stage_failures: List[StageFailure] = field(default_factory=list)
 
 
 class Study:
@@ -278,6 +299,21 @@ class Study:
                         manual.collect_market(market, site.host)
                     )
 
+        # Contract boundary: validate everything collection produced
+        # before any analysis sees it.  Quarantined records leave the
+        # dataset for the dead-letter store.
+        quarantine = QuarantineStore(
+            telemetry if telemetry.enabled else None,
+            strict=self.config.strict_contracts,
+        )
+        contracts: Optional[ValidationReport] = None
+        if self.config.contracts_enabled:
+            with tracer.span("contracts"):
+                contracts = validate_dataset(
+                    dataset, quarantine,
+                    telemetry if telemetry.enabled else None,
+                )
+
         result = StudyResult(
             dataset=dataset,
             world=world,
@@ -289,12 +325,28 @@ class Study:
             telemetry=telemetry,
             watchdog=watchdog,
             fault_injector=injector,
+            contracts=contracts,
+            quarantine=quarantine,
         )
-        # Fidelity scorecard: score the collected dataset against the
-        # world's ground truth and the paper-shape targets (§quality).
+        # Fidelity scorecard: run the supervised analysis suite, then
+        # score the collected dataset against the world's ground truth
+        # and the paper-shape targets (§quality).  A failed stage
+        # degrades its scorecard sections instead of killing the run.
         if telemetry.enabled and self.config.scorecard_enabled:
+            supervisor = StageSupervisor(
+                telemetry,
+                strict=self.config.strict_contracts,
+                fail_stages=self.config.fail_stages,
+            )
+            with tracer.span("analysis_suite"):
+                result.analyses = run_analysis_suite(
+                    dataset, supervisor, telemetry=telemetry,
+                )
+            result.stage_failures = list(supervisor.failures)
             with tracer.span("scorecard"):
-                result.scorecard = compute_scorecard(result)
+                result.scorecard = compute_scorecard(
+                    result, analyses=result.analyses,
+                )
             result.scorecard.register_gauges(telemetry.metrics)
         return result
 

@@ -77,6 +77,10 @@ class CrawlCheckpoint:
             active_per_iteration=list(payload["active_per_iteration"]),
             cumulative_per_iteration=list(payload["cumulative_per_iteration"]),
             sim_seconds=float(payload.get("sim_seconds", 0.0)),
+            # Deliberately strict (no unknown-key dropping): a checkpoint
+            # carrying fields this version does not know is an incompatible
+            # schema, and load_or_empty quarantines it rather than resuming
+            # from a half-understood crawl state.
             tracker={
                 key: ListingRecord(**record)
                 for key, record in payload["tracker"].items()

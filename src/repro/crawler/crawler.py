@@ -22,7 +22,12 @@ import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.dataset import ListingRecord, MeasurementDataset, SellerRecord
+from repro.core.dataset import (
+    ListingRecord,
+    MeasurementDataset,
+    SellerRecord,
+    add_provenance,
+)
 from repro.crawler.extractor import (
     ExtractionError,
     extract_listing_index,
@@ -244,7 +249,7 @@ class MarketplaceCrawler:
         if _looks_truncated(response):
             # Extraction salvaged fields from a cut-off page even after
             # the re-fetch; keep the record but flag its lineage.
-            record.provenance = "partial:truncated_html"
+            add_provenance(record, "partial:truncated_html")
             self.telemetry.events.emit(
                 "crawl.partial_record",
                 url=offer_url,

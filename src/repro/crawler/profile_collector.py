@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.dataset import ListingRecord, PostRecord, ProfileRecord
+from repro.core.dataset import (
+    ListingRecord,
+    PostRecord,
+    ProfileRecord,
+    add_provenance,
+)
 from repro.crawler.crawler import CrawlError
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.platforms.api import (
@@ -144,7 +149,7 @@ class ProfileCollector:
         if not complete:
             # Keep what we got, but mark the record so analyses know the
             # timeline may be missing posts.
-            record.provenance = "partial:timeline_error"
+            add_provenance(record, "partial:timeline_error")
             self.telemetry.events.emit(
                 "crawl.partial_record",
                 url=profile_url,

@@ -124,6 +124,9 @@ class LanguageDetector:
 
     def scores(self, text: str) -> List[Tuple[str, float]]:
         """(language, cosine score) sorted best-first."""
+        if not isinstance(text, str):
+            # Degraded records may carry None; score as empty text.
+            text = ""
         doc = _normalize(_trigrams(text))
         results = []
         for lang, profile in self._profiles.items():

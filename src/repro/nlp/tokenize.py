@@ -21,6 +21,10 @@ def tokenize(text: str, keep_handles: bool = False) -> List[str]:
     >>> tokenize("win #crypto", keep_handles=True)
     ['win', '#crypto']
     """
+    if not isinstance(text, str):
+        # A degraded record can carry None where text was nulled; the
+        # token stream is simply empty.
+        return []
     lowered = text.lower()
     lowered = _URL_RE.sub(" ", lowered)
     handles: List[str] = []

@@ -75,6 +75,14 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
     )
     watchdog = getattr(result, "watchdog", None)
     scorecard = getattr(result, "scorecard", None)
+    contracts = getattr(result, "contracts", None)
+    quarantine = getattr(result, "quarantine", None)
+    contracts_section = None
+    if contracts is not None or quarantine is not None:
+        contracts_section = {
+            "validation": contracts.summary() if contracts is not None else None,
+            "quarantine": quarantine.summary() if quarantine is not None else None,
+        }
     return {
         "schema": MANIFEST_SCHEMA,
         "command": list(command) if command is not None else None,
@@ -95,6 +103,11 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
             }
             if scorecard is not None else None
         ),
+        "contracts": contracts_section,
+        "stage_failures": [
+            failure.to_dict()
+            for failure in getattr(result, "stage_failures", [])
+        ],
         "events": telemetry.events.counts_by_kind(),
         "metrics": telemetry.metrics.snapshot(),
     }

@@ -61,6 +61,12 @@ DEFAULT_THRESHOLDS: Dict[str, Tuple[float, float]] = {
     "calib_price_median_ratio_tiktok": (0.25, 4.0),
     "calib_price_median_ratio_x": (0.25, 4.0),
     "calib_price_median_ratio_youtube": (0.25, 4.0),
+    # -- data-plane coverage ----------------------------------------------
+    #: Share of collected records that survived contract quarantine.
+    "contract_record_coverage": (0.95, 1.0),
+    #: Share of the nine analysis stages that produced a report — any
+    #: degraded stage takes the scorecard out of band.
+    "analysis_stage_coverage": (1.0, 1.0),
 }
 
 
@@ -191,13 +197,18 @@ def compute_scorecard(
     network=None,
     efficacy=None,
     underground=None,
+    analyses=None,
 ) -> Scorecard:
     """Score a :class:`~repro.core.pipeline.StudyResult` against its own
     world's ground truth and the calibration targets.
 
     Analysis reports already computed elsewhere (e.g. by ``repro
     tables``) can be passed in to avoid recomputation; any left ``None``
-    is run here on ``result.dataset``.
+    is run here on ``result.dataset``.  When a supervised
+    :class:`~repro.analysis.suite.AnalysisResults` is passed as
+    ``analyses``, its reports are used instead — and a stage it recorded
+    as *failed* is honoured: its sections are skipped (degraded), never
+    silently recomputed.
     """
     from repro.analysis.efficacy import EfficacyAnalysis
     from repro.analysis.network import NetworkAnalysis
@@ -210,16 +221,30 @@ def compute_scorecard(
     if thresholds:
         bands.update(thresholds)
 
-    if scam is None:
+    failed_stages: Set[str] = set()
+    if analyses is not None:
+        failed_stages = {f.stage for f in analyses.failures}
+        scam = scam if scam is not None else analyses.report("scam_posts")
+        network = network if network is not None else analyses.report("network")
+        efficacy = (
+            efficacy if efficacy is not None else analyses.report("efficacy")
+        )
+        underground = (
+            underground if underground is not None
+            else analyses.report("underground")
+        )
+
+    if scam is None and "scam_posts" not in failed_stages:
         scam = ScamPostAnalysis(
             ScamPipelineConfig(dbscan_eps=0.9),
             telemetry=getattr(result, "telemetry", None),
         ).run(dataset)
-    if network is None:
+    if network is None and "network" not in failed_stages:
         network = NetworkAnalysis().run(dataset)
-    if efficacy is None:
+    if efficacy is None and "efficacy" not in failed_stages:
         efficacy = EfficacyAnalysis().run(dataset)
-    if underground is None and dataset.underground:
+    if (underground is None and dataset.underground
+            and "underground" not in failed_stages):
         underground = UndergroundAnalysis().run(dataset.underground)
 
     card = Scorecard(seed=world.seed, scale=world.scale)
@@ -236,58 +261,61 @@ def compute_scorecard(
     }
 
     # -- scam vetting vs ground truth (§6) --------------------------------
-    collected_accounts = {(p.platform, p.handle) for p in dataset.posts}
-    truth_scam_accounts = {
-        key for key in collected_accounts
-        if key in accounts_by_key and accounts_by_key[key].is_scammer
-    }
-    p, r = precision_recall(scam.predicted_accounts(), truth_scam_accounts)
-    add("scam_account_precision", "ground_truth", p,
-        f"{len(scam.predicted_accounts())} predicted vs "
-        f"{len(truth_scam_accounts)} true scam accounts")
-    add("scam_account_recall", "ground_truth", r)
+    if scam is not None:
+        collected_accounts = {(p.platform, p.handle) for p in dataset.posts}
+        truth_scam_accounts = {
+            key for key in collected_accounts
+            if key in accounts_by_key and accounts_by_key[key].is_scammer
+        }
+        p, r = precision_recall(scam.predicted_accounts(), truth_scam_accounts)
+        add("scam_account_precision", "ground_truth", p,
+            f"{len(scam.predicted_accounts())} predicted vs "
+            f"{len(truth_scam_accounts)} true scam accounts")
+        add("scam_account_recall", "ground_truth", r)
 
-    truth_subtype_by_id = {
-        post.post_id: post.scam_subtype for post in world.all_posts()
-    }
-    collected_post_ids = {post.post_id for post in dataset.posts}
-    truth_scam_posts = {
-        pid for pid in collected_post_ids if truth_subtype_by_id.get(pid)
-    }
-    p, r = precision_recall(set(scam.scam_post_ids), truth_scam_posts)
-    add("scam_post_precision", "ground_truth", p,
-        f"{len(scam.scam_post_ids)} predicted vs "
-        f"{len(truth_scam_posts)} true scam posts")
-    add("scam_post_recall", "ground_truth", r)
+        truth_subtype_by_id = {
+            post.post_id: post.scam_subtype for post in world.all_posts()
+        }
+        collected_post_ids = {post.post_id for post in dataset.posts}
+        truth_scam_posts = {
+            pid for pid in collected_post_ids if truth_subtype_by_id.get(pid)
+        }
+        p, r = precision_recall(set(scam.scam_post_ids), truth_scam_posts)
+        add("scam_post_precision", "ground_truth", p,
+            f"{len(scam.scam_post_ids)} predicted vs "
+            f"{len(truth_scam_posts)} true scam posts")
+        add("scam_post_recall", "ground_truth", r)
 
     # -- network clustering vs ground truth (§7) --------------------------
-    active_profiles = {
-        (p.platform, p.handle) for p in dataset.profiles if p.is_active
-    }
-    truth_membership = {
-        key: (key[0], accounts_by_key[key].cluster_id)
-        for key in active_profiles
-        if key in accounts_by_key and accounts_by_key[key].cluster_id
-    }
-    predicted_pairs = _pair_set(network.membership())
-    truth_pairs = _pair_set(truth_membership)
-    p, r = precision_recall(predicted_pairs, truth_pairs)
-    add("network_pair_precision", "ground_truth", p,
-        f"{len(predicted_pairs)} predicted vs {len(truth_pairs)} true "
-        "same-cluster pairs")
-    add("network_pair_recall", "ground_truth", r)
+    if network is not None:
+        active_profiles = {
+            (p.platform, p.handle) for p in dataset.profiles if p.is_active
+        }
+        truth_membership = {
+            key: (key[0], accounts_by_key[key].cluster_id)
+            for key in active_profiles
+            if key in accounts_by_key and accounts_by_key[key].cluster_id
+        }
+        predicted_pairs = _pair_set(network.membership())
+        truth_pairs = _pair_set(truth_membership)
+        p, r = precision_recall(predicted_pairs, truth_pairs)
+        add("network_pair_precision", "ground_truth", p,
+            f"{len(predicted_pairs)} predicted vs {len(truth_pairs)} true "
+            "same-cluster pairs")
+        add("network_pair_recall", "ground_truth", r)
 
     # -- moderation sweep vs ground truth (§8) ----------------------------
-    swept = {(p.platform, p.handle) for p in dataset.profiles}
-    truth_inactive = {
-        key for key in swept
-        if key in accounts_by_key and not accounts_by_key[key].is_active
-    }
-    p, r = precision_recall(efficacy.predicted_inactive, truth_inactive)
-    add("efficacy_precision", "ground_truth", p,
-        f"{len(efficacy.predicted_inactive)} predicted vs "
-        f"{len(truth_inactive)} truly actioned accounts")
-    add("efficacy_recall", "ground_truth", r)
+    if efficacy is not None:
+        swept = {(p.platform, p.handle) for p in dataset.profiles}
+        truth_inactive = {
+            key for key in swept
+            if key in accounts_by_key and not accounts_by_key[key].is_active
+        }
+        p, r = precision_recall(efficacy.predicted_inactive, truth_inactive)
+        add("efficacy_precision", "ground_truth", p,
+            f"{len(efficacy.predicted_inactive)} predicted vs "
+            f"{len(truth_inactive)} truly actioned accounts")
+        add("efficacy_recall", "ground_truth", r)
 
     # -- underground text reuse vs ground truth (§4.2) --------------------
     if underground is not None and dataset.underground:
@@ -316,6 +344,18 @@ def compute_scorecard(
 
     # -- calibration shape checks -----------------------------------------
     _add_calibration_entries(add, dataset, scam, network, efficacy)
+
+    # -- data-plane coverage ----------------------------------------------
+    contracts = getattr(result, "contracts", None)
+    if contracts is not None:
+        add("contract_record_coverage", "coverage", contracts.coverage(),
+            f"{contracts.quarantined} of {contracts.checked_total} "
+            "collected records quarantined")
+    if analyses is not None:
+        add("analysis_stage_coverage", "coverage", analyses.coverage(),
+            f"{analyses.succeeded}/{len(analyses.reports)} stages reported"
+            + ("" if not failed_stages
+               else "; degraded: " + ", ".join(sorted(failed_stages))))
     return card
 
 
@@ -347,20 +387,23 @@ def _add_calibration_entries(add, dataset, scam, network, efficacy) -> None:
             "total-variation distance to Table 1 shares")
 
     # Table 5: posts per scam account (~4.99 at paper scale).
-    if scam.total_scam_accounts:
+    if scam is not None and scam.total_scam_accounts:
         add("calib_scam_posts_per_account", "calibration",
             scam.total_scam_posts / scam.total_scam_accounts,
             "paper: 18792/3769 = 4.99")
 
     # Table 7: fraction of active profiles inside a network cluster.
-    clustered_total = network.total_cluster_accounts + network.total_singletons
-    if clustered_total:
-        add("calib_clustered_account_fraction", "calibration",
-            network.total_cluster_accounts / clustered_total,
-            "paper: 543/11457 = 0.047")
+    if network is not None:
+        clustered_total = (
+            network.total_cluster_accounts + network.total_singletons
+        )
+        if clustered_total:
+            add("calib_clustered_account_fraction", "calibration",
+                network.total_cluster_accounts / clustered_total,
+                "paper: 543/11457 = 0.047")
 
     # Table 8: overall share of visible accounts actioned (~19.7%).
-    if efficacy.total_visible:
+    if efficacy is not None and efficacy.total_visible:
         add("calib_efficacy_rate", "calibration",
             efficacy.total_inactive / efficacy.total_visible,
             "paper: 0.1971")

@@ -137,6 +137,50 @@ def _scorecard_section(run: RunDir) -> Optional[str]:
     return "\n".join(lines)
 
 
+def _contracts_section(manifest: Optional[dict]) -> Optional[str]:
+    contracts = (manifest or {}).get("contracts")
+    if not contracts:
+        return None
+    lines = []
+    validation = contracts.get("validation")
+    if validation:
+        lines.append(
+            "contracts: "
+            f"{sum((validation.get('checked') or {}).values())} checked, "
+            f"{validation.get('repaired', 0)} repaired, "
+            f"{validation.get('degraded', 0)} degraded, "
+            f"{validation.get('quarantined', 0)} quarantined "
+            f"(coverage {validation.get('coverage', 1.0):.4f})"
+        )
+    quarantine = contracts.get("quarantine")
+    if quarantine and quarantine.get("by_rule"):
+        for rule, count in sorted(quarantine["by_rule"].items()):
+            lines.append(f"  quarantined {rule}: {count}")
+    return "\n".join(lines) if lines else None
+
+
+def _stage_failures_section(manifest: Optional[dict]) -> Optional[str]:
+    failures = (manifest or {}).get("stage_failures") or []
+    if not failures:
+        return None
+    rows = [
+        [
+            failure.get("stage", ""),
+            failure.get("kind", ""),
+            str(failure.get("attempts", 1)),
+            failure.get("disposition", ""),
+            failure.get("detail", ""),
+        ]
+        for failure in failures
+    ]
+    return (
+        f"stage failures ({len(failures)} degraded):\n"
+        + _format_table(
+            ["stage", "kind", "attempts", "disposition", "detail"], rows
+        )
+    )
+
+
 def render_trace_summary(source: Union[str, RunDir]) -> str:
     """The full ``repro trace`` report for one telemetry directory.
 
@@ -170,6 +214,8 @@ def render_trace_summary(source: Union[str, RunDir]) -> str:
 
     for section in (
         _scorecard_section(run),
+        _stage_failures_section(manifest),
+        _contracts_section(manifest),
         _watchdog_section(run),
         _http_section(run),
     ):

@@ -7,8 +7,36 @@ avoid float drift when summing tens of thousands of listings.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
+
+
+def is_valid_price(value) -> bool:
+    """True for a finite, non-negative number that can act as a price.
+
+    Rejects None, NaN/inf, negatives, bools, and non-numeric types —
+    the gate that keeps NaN out of every price aggregate.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value) and value >= 0
+
+
+def parse_price(value) -> Optional[float]:
+    """Coerce a raw extracted value to a usable price, else None.
+
+    Accepts numbers and numeric strings; anything non-finite or
+    negative is rejected rather than propagated.
+    """
+    if isinstance(value, str):
+        try:
+            value = float(value.strip())
+        except ValueError:
+            return None
+    if not is_valid_price(value):
+        return None
+    return float(value)
 
 
 @dataclass(frozen=True, order=True)
@@ -19,6 +47,8 @@ class Money:
 
     @classmethod
     def dollars(cls, amount: float) -> "Money":
+        if not math.isfinite(amount):
+            raise ValueError(f"non-finite dollar amount: {amount!r}")
         return cls(round(amount * 100))
 
     @property
@@ -48,6 +78,8 @@ def format_usd(amount: float) -> str:
     >>> format_usd(157.5)
     '$157.50'
     """
+    if not math.isfinite(amount):
+        raise ValueError(f"non-finite dollar amount: {amount!r}")
     if amount == int(amount):
         return f"${int(amount):,}"
     return f"${amount:,.2f}"
@@ -60,4 +92,4 @@ def sum_money(amounts: Iterable[Money]) -> Money:
     return Money(total)
 
 
-__all__ = ["Money", "format_usd", "sum_money"]
+__all__ = ["Money", "format_usd", "is_valid_price", "parse_price", "sum_money"]

@@ -52,6 +52,54 @@ class TestRunAndReport:
     def test_report_missing_run_fails(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "nope")]) == 1
 
+    def test_run_writes_quarantine_file(self, run_dir):
+        path = os.path.join(run_dir, "quarantine.jsonl")
+        assert os.path.exists(path)
+        # A clean synthetic run dead-letters nothing.
+        assert open(path, encoding="utf-8").read() == ""
+
+    def test_report_warns_on_corrupt_line(self, run_dir, tmp_path, capsys):
+        import shutil
+
+        corrupt = tmp_path / "corrupt-run"
+        shutil.copytree(run_dir, corrupt)
+        listings = corrupt / "listings.jsonl"
+        text = listings.read_text()
+        listings.write_text(text + '{"offer_url": "http://x.exam\n')
+        assert main(["report", str(corrupt)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 corrupt dataset line" in captured.err
+        assert "listings/jsonl_decode_error=1" in captured.err
+        assert "Table 1" in captured.out
+
+
+class TestContractsFlags:
+    def test_strict_contracts_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main([
+            "run", "--scale", "0.01", "--iterations", "2", "--seed", "7",
+            "--no-underground", "--strict-contracts",
+            "--out", str(tmp_path / "strict"),
+        ])
+        assert code == 0
+
+    def test_fail_stage_degrades_but_exits_zero(self, capsys):
+        code = main([
+            "tables", "--scale", "0.01", "--iterations", "2", "--seed", "7",
+            "--no-underground", "--fail-stage", "network",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[degraded] section 7" in out
+        assert "Table 7" not in out
+        assert "Table 8" in out  # later stages still rendered
+
+    def test_fail_stage_rejects_unknown_stage(self):
+        with pytest.raises(SystemExit):
+            main([
+                "tables", "--scale", "0.01", "--iterations", "2",
+                "--fail-stage", "nonsense",
+            ])
+
 
 class TestTables:
     def test_one_shot(self, capsys):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.contracts import SOURCE_JSONL_LOAD, QuarantineStore
 from repro.core.dataset import (
     ListingRecord,
     MeasurementDataset,
@@ -10,6 +11,7 @@ from repro.core.dataset import (
     SellerRecord,
     UndergroundRecord,
     dedup_by,
+    record_from_dict,
 )
 
 
@@ -88,6 +90,94 @@ class TestPersistence:
             l.price_usd for l in loaded.listings if l.price_usd is not None
         )
         assert original_prices == loaded_prices
+
+
+class TestCorruptLineLoading:
+    def _truncate_last_line(self, path):
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+
+    def test_truncated_final_line_is_skipped_and_counted(self, tmp_path):
+        ds = sample_dataset()
+        run_dir = tmp_path / "run"
+        ds.save(str(run_dir))
+        # Simulate a SIGKILL mid-write: cut the final listings line.
+        self._truncate_last_line(run_dir / "listings.jsonl")
+        store = QuarantineStore()
+        loaded = MeasurementDataset.load(str(run_dir), quarantine=store)
+        assert len(loaded.listings) == len(ds.listings) - 1
+        assert store.total == 1
+        entry = store.entries[0]
+        assert entry.record_type == "listings"
+        assert entry.rule == "jsonl_decode_error"
+        assert entry.source == SOURCE_JSONL_LOAD
+        assert entry.raw  # the offending line is preserved for forensics
+
+    def test_corrupt_line_without_store_is_silently_skipped(self, tmp_path):
+        ds = sample_dataset()
+        run_dir = tmp_path / "run"
+        ds.save(str(run_dir))
+        self._truncate_last_line(run_dir / "listings.jsonl")
+        loaded = MeasurementDataset.load(str(run_dir))  # must not raise
+        assert len(loaded.listings) == len(ds.listings) - 1
+
+    def test_wrong_shape_line_is_quarantined(self, tmp_path):
+        ds = sample_dataset()
+        run_dir = tmp_path / "run"
+        ds.save(str(run_dir))
+        path = run_dir / "posts.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"no_such_field": 1}\n')  # missing required args
+            handle.write('[1, 2, 3]\n')  # not an object at all
+        store = QuarantineStore()
+        loaded = MeasurementDataset.load(str(run_dir), quarantine=store)
+        assert len(loaded.posts) == len(ds.posts)
+        assert [e.rule for e in store.entries] == [
+            "record_shape_error", "record_shape_error",
+        ]
+
+    def test_unknown_fields_are_dropped_not_fatal(self, tmp_path):
+        ds = sample_dataset()
+        run_dir = tmp_path / "run"
+        ds.save(str(run_dir))
+        path = run_dir / "listings.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(
+                '{"offer_url": "http://m.example/offer/9", '
+                '"marketplace": "M1", "added_in_v99": true}\n'
+            )
+        store = QuarantineStore()
+        loaded = MeasurementDataset.load(str(run_dir), quarantine=store)
+        assert store.total == 0
+        assert loaded.listings[-1].offer_url == "http://m.example/offer/9"
+
+    def test_old_single_value_provenance_loads(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "listings.jsonl").write_text(
+            '{"offer_url": "http://m.example/offer/1", "marketplace": "M1", '
+            '"provenance": "partial:truncated_html"}\n'
+        )
+        loaded = MeasurementDataset.load(str(run_dir))
+        assert loaded.listings[0].provenance == "partial:truncated_html"
+
+
+class TestRecordFromDict:
+    def test_drops_unknown_keys(self):
+        record = record_from_dict(
+            PostRecord,
+            {"post_id": "p", "platform": "x", "handle": "h", "text": "t",
+             "future_field": 1},
+        )
+        assert record.post_id == "p"
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(TypeError):
+            record_from_dict(PostRecord, [1, 2])
+
+    def test_rejects_missing_required(self):
+        with pytest.raises(TypeError):
+            record_from_dict(PostRecord, {"post_id": "p"})
 
 
 class TestMergeAndDedup:
