@@ -39,6 +39,10 @@ def record_report(title: str, text: str) -> None:
 
 @pytest.fixture(scope="session")
 def bench_config() -> StudyConfig:
+    # Crawl archiving stays OFF for benchmarks (archive_dir=None): the
+    # capture hook hashes and persists every response body, and that cost
+    # belongs only to the bench that measures it
+    # (``test_archive_overhead.py``), not to every analysis timing.
     return StudyConfig(
         seed=BENCH_SEED, scale=BENCH_SCALE, iterations=BENCH_ITERATIONS
     )

@@ -1,0 +1,161 @@
+"""Per-marketplace page churn between two archived iterations.
+
+``repro archive diff DIR I J`` answers the longitudinal question the
+iteration indexes make cheap: between collection iterations *I* and *J*,
+which offer pages appeared, disappeared, or changed content — per
+marketplace — and how much body-level dedup the pair of crawls achieved.
+
+Churn is computed over *outcome* records (the final page content each
+crawl delivered), keyed by offer URL; "changed" means the same URL
+served a body with a different SHA-256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.archive.reader import ArchiveReader
+from repro.archive.records import ROLE_OUTCOME, ArchiveError
+from repro.archive.writer import index_filename, iteration_phase
+
+
+def _host_to_marketplace() -> Dict[str, str]:
+    from repro.marketplaces.registry import MARKETPLACES
+
+    return {spec.host: name for name, spec in MARKETPLACES.items()}
+
+
+@dataclass
+class MarketplaceChurn:
+    """Offer-page churn for one marketplace between two iterations."""
+
+    marketplace: str
+    added: int = 0
+    removed: int = 0
+    changed: int = 0
+    unchanged: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.added + self.removed + self.changed + self.unchanged
+
+
+@dataclass
+class ArchiveDiff:
+    """The full churn report between iterations ``left`` and ``right``."""
+
+    left: int
+    right: int
+    churn: List[MarketplaceChurn] = field(default_factory=list)
+    #: Unique bodies across both iterations / bodies observed — how much
+    #: of the pair the blob store stored only once.
+    dedup_ratio: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "left": self.left,
+            "right": self.right,
+            "dedup_ratio": round(self.dedup_ratio, 6),
+            "marketplaces": [
+                {
+                    "marketplace": entry.marketplace,
+                    "added": entry.added,
+                    "removed": entry.removed,
+                    "changed": entry.changed,
+                    "unchanged": entry.unchanged,
+                }
+                for entry in self.churn
+            ],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"archive diff: iteration {self.left} -> {self.right}",
+            f"  body dedup ratio across the pair: {self.dedup_ratio:.3f}",
+            "",
+            f"  {'marketplace':<22} {'added':>6} {'removed':>8} "
+            f"{'changed':>8} {'unchanged':>10}",
+        ]
+        for entry in self.churn:
+            lines.append(
+                f"  {entry.marketplace:<22} {entry.added:>6} "
+                f"{entry.removed:>8} {entry.changed:>8} {entry.unchanged:>10}"
+            )
+        totals = MarketplaceChurn(
+            "TOTAL",
+            added=sum(e.added for e in self.churn),
+            removed=sum(e.removed for e in self.churn),
+            changed=sum(e.changed for e in self.churn),
+            unchanged=sum(e.unchanged for e in self.churn),
+        )
+        lines.append(
+            f"  {'TOTAL':<22} {totals.added:>6} {totals.removed:>8} "
+            f"{totals.changed:>8} {totals.unchanged:>10}"
+        )
+        return "\n".join(lines)
+
+
+def _offer_pages(
+    reader: ArchiveReader, iteration: int, hosts: Dict[str, str]
+) -> Dict[str, Dict[str, str]]:
+    """marketplace -> {offer URL -> body sha} for one iteration.
+
+    A URL fetched more than once in an iteration (the crawler's
+    truncation re-fetch issues a second top-level GET) keeps its last
+    delivered body — what the crawl actually extracted from.
+    """
+    from repro.web.url import url_host
+
+    name = index_filename(iteration_phase(iteration))
+    if name not in reader.index_names():
+        raise ArchiveError(
+            f"archive has no index for iteration {iteration} "
+            f"(indexes: {', '.join(reader.index_names())})"
+        )
+    pages: Dict[str, Dict[str, str]] = {}
+    for record in reader.entries(name):
+        if record.role != ROLE_OUTCOME or record.sha256 is None:
+            continue
+        if "/offer/" not in record.url:
+            continue
+        marketplace = hosts.get(url_host(record.url))
+        if marketplace is None:
+            continue
+        pages.setdefault(marketplace, {})[record.url] = record.sha256
+    return pages
+
+
+def diff_iterations(
+    reader: ArchiveReader, left: int, right: int
+) -> ArchiveDiff:
+    """Compute offer-page churn between two archived iterations."""
+    hosts = _host_to_marketplace()
+    pages_left = _offer_pages(reader, left, hosts)
+    pages_right = _offer_pages(reader, right, hosts)
+    diff = ArchiveDiff(left=left, right=right)
+    bodies_seen = 0
+    unique_bodies = set()
+    for marketplace in sorted(set(pages_left) | set(pages_right)):
+        before = pages_left.get(marketplace, {})
+        after = pages_right.get(marketplace, {})
+        entry = MarketplaceChurn(marketplace=marketplace)
+        for url in set(before) | set(after):
+            if url not in before:
+                entry.added += 1
+            elif url not in after:
+                entry.removed += 1
+            elif before[url] != after[url]:
+                entry.changed += 1
+            else:
+                entry.unchanged += 1
+        diff.churn.append(entry)
+        for shas in (before, after):
+            bodies_seen += len(shas)
+            unique_bodies.update(shas.values())
+    if bodies_seen:
+        diff.dedup_ratio = 1.0 - len(unique_bodies) / bodies_seen
+    return diff
+
+
+__all__ = ["ArchiveDiff", "MarketplaceChurn", "diff_iterations"]

@@ -1,0 +1,111 @@
+"""The archive's index-record schema: one line per archived HTTP exchange.
+
+Two roles share the schema:
+
+``exchange``
+    A response (or transport failure) exactly as observed on the wire —
+    recorded by the client *before* retry, timeout, or redirect handling
+    touches it.  Intermediate 503s, truncated bodies, robots.txt
+    fetches: all of them land here as observed, never as repaired.
+
+``outcome``
+    What one top-level :meth:`HttpClient.request` call delivered to its
+    caller — the final response after redirects and retries, or the
+    error it raised.  The per-client outcome sequence is the replay
+    script: :mod:`repro.archive.replay` feeds it back to the crawlers
+    verbatim.
+
+Serialization is sorted-key JSON with a fixed field set, so two
+same-seed runs write byte-identical index lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+ROLE_EXCHANGE = "exchange"
+ROLE_OUTCOME = "outcome"
+
+
+class ArchiveError(Exception):
+    """An archive directory is missing, unsealed, corrupt, or misused."""
+
+
+@dataclass
+class ExchangeRecord:
+    """One archived HTTP exchange (see module docstring for roles)."""
+
+    seq: int
+    role: str  # ROLE_EXCHANGE | ROLE_OUTCOME
+    phase: str  # "iteration_0000", ..., "post_collection"
+    client: str  # HttpClient.client_id
+    method: str
+    url: str
+    params: Dict[str, str] = field(default_factory=dict)
+    form: Dict[str, str] = field(default_factory=dict)
+    #: Response fields (None/empty when the exchange was an error).
+    status: Optional[int] = None
+    sha256: Optional[str] = None
+    size: int = 0
+    headers: Dict[str, str] = field(default_factory=dict)
+    set_cookies: Dict[str, str] = field(default_factory=dict)
+    response_url: str = ""
+    elapsed: float = 0.0
+    #: Simulated clock when the exchange completed.
+    sim_at: float = 0.0
+    #: Error the exchange/outcome surfaced instead of a response:
+    #: ``{"type": "RequestTimeout", "message": "..."}``.
+    error: Optional[Dict[str, str]] = None
+    #: Free-form observation flag: "", "robots", "timeout_discarded".
+    note: str = ""
+
+    @property
+    def is_response(self) -> bool:
+        return self.status is not None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "client": self.client,
+                "elapsed": self.elapsed,
+                "error": self.error,
+                "form": self.form,
+                "headers": self.headers,
+                "method": self.method,
+                "note": self.note,
+                "params": self.params,
+                "phase": self.phase,
+                "response_url": self.response_url,
+                "role": self.role,
+                "seq": self.seq,
+                "set_cookies": self.set_cookies,
+                "sha256": self.sha256,
+                "sim_at": self.sim_at,
+                "size": self.size,
+                "status": self.status,
+                "url": self.url,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExchangeRecord":
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"expected a JSON object, got {type(payload).__name__}"
+            )
+        known = {
+            "seq", "role", "phase", "client", "method", "url", "params",
+            "form", "status", "sha256", "size", "headers", "set_cookies",
+            "response_url", "elapsed", "sim_at", "error", "note",
+        }
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    @classmethod
+    def from_json(cls, line: str) -> "ExchangeRecord":
+        return cls.from_dict(json.loads(line))
+
+
+__all__ = ["ArchiveError", "ExchangeRecord", "ROLE_EXCHANGE", "ROLE_OUTCOME"]

@@ -20,9 +20,18 @@ Commands
 ``health``
     Render a telemetry directory as a single-file HTML dashboard;
     ``--strict`` fails the command when the run looks unhealthy.
+``replay``
+    Re-run extraction + analysis offline from a sealed crawl archive
+    (``run --archive-dir``); the outputs are byte-identical to the live
+    run's.
+``archive verify``
+    Re-hash every index and blob in an archive; exit 2 on corruption.
+``archive diff``
+    Per-marketplace offer-page churn between two archived iterations.
 
 Telemetry-reading commands (``trace``/``diff``/``health``) exit with
-code 2 when a directory is missing, empty, or corrupt.
+code 2 when a directory is missing, empty, or corrupt; so do ``replay``
+and ``archive`` when the archive is missing, unsealed, or corrupt.
 """
 
 from __future__ import annotations
@@ -34,6 +43,13 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import MarketplaceAnatomy
+from repro.archive import (
+    ArchiveError,
+    ArchiveReader,
+    ReplayError,
+    diff_iterations,
+    run_replay,
+)
 from repro.analysis.figures import fig3_outlier, fig5_descriptions, listing_dynamics
 from repro.analysis.suite import STAGE_NAMES, AnalysisResults, run_analysis_suite
 from repro.contracts import (
@@ -76,6 +92,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         resume=bool(getattr(args, "resume", False)),
         strict_contracts=bool(getattr(args, "strict_contracts", False)),
         fail_stages=tuple(getattr(args, "fail_stage", None) or ()),
+        archive_dir=getattr(args, "archive_dir", None),
     )
 
 
@@ -348,6 +365,87 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    telemetry = _telemetry_for(args)
+    try:
+        result = run_replay(args.archive_dir, telemetry=telemetry)
+    except (ArchiveError, ReplayError) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    os.makedirs(args.out, exist_ok=True)
+    result.dataset.save(args.out)
+    if result.quarantine is not None:
+        result.quarantine.write_jsonl(args.out)
+    # The meta file mirrors cmd_run's byte for byte: same keys, same
+    # values, sourced from the archive manifest instead of the CLI args.
+    archive_config = ArchiveReader.open(args.archive_dir).config
+    meta = {
+        "seed": archive_config["seed"],
+        "scale": archive_config["scale"],
+        "iterations": archive_config["iterations"],
+        "active_per_iteration": result.active_per_iteration,
+        "cumulative_per_iteration": result.cumulative_per_iteration,
+        "payment_methods": {
+            market: [list(pair) for pair in pairs]
+            for market, pairs in result.payment_methods.items()
+        },
+        "simulated_seconds": result.simulated_seconds,
+    }
+    with open(os.path.join(args.out, META_FILENAME), "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+    if result.scorecard is not None:
+        write_scorecard(args.out, result.scorecard)
+    config = StudyConfig(
+        seed=archive_config["seed"],
+        scale=archive_config["scale"],
+        iterations=archive_config["iterations"],
+        include_underground=archive_config["include_underground"],
+        telemetry_enabled=telemetry.enabled,
+        archive_dir=args.archive_dir,
+    )
+    _export_telemetry(args, config, result, telemetry)
+    print(f"replayed {args.archive_dir} into {args.out}: "
+          f"{result.dataset.summary()}")
+    return 0
+
+
+def cmd_archive_verify(args: argparse.Namespace) -> int:
+    try:
+        reader = ArchiveReader.open(args.archive_dir)
+        problems = reader.verify()
+    except ArchiveError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(
+            f"archive {args.archive_dir} is CORRUPT: "
+            f"{len(problems)} problem(s)",
+            file=sys.stderr,
+        )
+        return 2
+    manifest = reader.manifest
+    print(
+        f"archive {args.archive_dir} verified: "
+        f"{manifest['exchanges_total']} exchanges, "
+        f"{manifest['blobs_total']} blobs, "
+        f"{manifest['bytes_total']:,} bytes intact"
+    )
+    return 0
+
+
+def cmd_archive_diff(args: argparse.Namespace) -> int:
+    try:
+        reader = ArchiveReader.open(args.archive_dir)
+        diff = diff_iterations(reader, args.left, args.right)
+    except ArchiveError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(diff.render_text())
+    return 0
+
+
 def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05,
                         help="world scale; 1.0 = the paper's 38K listings")
@@ -395,6 +493,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="resume a killed run from the checkpoint "
                                  "in --checkpoint-dir instead of starting "
                                  "fresh")
+    run_parser.add_argument("--archive-dir", default=None, metavar="DIR",
+                            help="archive every HTTP exchange into a "
+                                 "content-addressed store here; replay "
+                                 "later with 'repro replay DIR'")
     run_parser.set_defaults(handler=cmd_run)
 
     report_parser = commands.add_parser("report", help="render tables from a saved run")
@@ -440,6 +542,44 @@ def build_parser() -> argparse.ArgumentParser:
                                     "watchdog found critical issues")
     health_parser.set_defaults(handler=cmd_health)
 
+    replay_parser = commands.add_parser(
+        "replay",
+        help="re-run extraction + analysis offline from a crawl archive",
+    )
+    replay_parser.add_argument("archive_dir",
+                               help="directory written by run --archive-dir")
+    replay_parser.add_argument("--out", required=True,
+                               help="output directory (same layout as "
+                                    "'run --out')")
+    replay_parser.add_argument("--telemetry-out", default=None, metavar="DIR",
+                               help="record and export replay telemetry here")
+    replay_parser.add_argument("--log-level", default="warning",
+                               choices=["debug", "info", "warning", "error"])
+    replay_parser.set_defaults(handler=cmd_replay)
+
+    archive_parser = commands.add_parser(
+        "archive", help="inspect or verify a crawl archive"
+    )
+    archive_commands = archive_parser.add_subparsers(
+        dest="archive_command", required=True
+    )
+    verify_parser = archive_commands.add_parser(
+        "verify",
+        help="re-hash every index and blob; exit 2 on any corruption",
+    )
+    verify_parser.add_argument("archive_dir")
+    verify_parser.set_defaults(handler=cmd_archive_verify)
+    adiff_parser = archive_commands.add_parser(
+        "diff",
+        help="per-marketplace offer-page churn between two iterations",
+    )
+    adiff_parser.add_argument("archive_dir")
+    adiff_parser.add_argument("left", type=int,
+                              help="baseline iteration index")
+    adiff_parser.add_argument("right", type=int,
+                              help="comparison iteration index")
+    adiff_parser.set_defaults(handler=cmd_archive_diff)
+
     figures_parser = commands.add_parser(
         "figures", help="export figure series from a saved run as CSV"
     )
@@ -452,7 +592,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro trace DIR | head`);
+        # exit quietly like any Unix tool instead of tracebacking.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

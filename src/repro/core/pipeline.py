@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.suite import AnalysisResults, run_analysis_suite
+from repro.archive.writer import POST_COLLECTION_PHASE, ArchiveWriter
 from repro.contracts.quarantine import QuarantineStore
 from repro.contracts.schema import ValidationReport, validate_dataset
 from repro.contracts.supervisor import StageFailure, StageSupervisor
@@ -87,6 +88,12 @@ class StudyConfig:
     #: Analysis stages to fail deliberately (``--fail-stage``) —
     #: degraded-run drills and supervisor tests.
     fail_stages: Tuple[str, ...] = ()
+    #: Directory for the crawl archive (``--archive-dir``): every HTTP
+    #: exchange is captured into a content-addressed store sealed at the
+    #: end of the run, from which ``repro replay`` re-runs extraction
+    #: and analysis offline.  Off (None) by default so benchmark
+    #: timings are unaffected.
+    archive_dir: Optional[str] = None
 
     def world_config(self) -> WorldConfig:
         return WorldConfig(
@@ -126,6 +133,9 @@ class StudyResult:
     analyses: Optional[AnalysisResults] = None
     #: Stages that degraded instead of reporting.
     stage_failures: List[StageFailure] = field(default_factory=list)
+    #: Sealed-archive summary (dir, counts, chain hash) when the run
+    #: archived its crawl (None otherwise).
+    archive: Optional[dict] = None
 
 
 class Study:
@@ -193,10 +203,21 @@ class Study:
                 else {}
             )
 
+        # Crawl archive: the capture hook both clients write through.
+        archive: Optional[ArchiveWriter] = None
+        if self.config.archive_dir:
+            archive = ArchiveWriter(
+                self.config.archive_dir,
+                internet.clock,
+                telemetry=telemetry,
+                resume=self.config.resume,
+            )
+
         client = HttpClient(
             network,
             ClientConfig(per_host_delay_seconds=self.config.per_host_delay_seconds),
             telemetry=telemetry,
+            capture=archive,
         )
         checkpoint_path: Optional[str] = None
         if self.config.checkpoint_dir:
@@ -241,11 +262,16 @@ class Study:
             checkpoint_path=checkpoint_path,
             telemetry=telemetry,
             watchdog=watchdog,
+            archive=archive,
         )
         with tracer.span("iteration_crawl"):
             dataset = crawl.run()
         if watchdog is not None:
             watchdog.finish()
+        if archive is not None:
+            # Everything after the iteration crawl (payments, profiles,
+            # sweep, underground) archives into one post-collection index.
+            archive.begin_phase(POST_COLLECTION_PHASE)
 
         # Post-crawl stages get their own fault epoch and fresh client
         # state.  Without this, a run resumed from an already-complete
@@ -287,6 +313,7 @@ class Study:
                 ClientConfig(via_tor=True, per_host_delay_seconds=0.0),
                 client_id="manual-analyst",
                 telemetry=telemetry,
+                capture=archive,
             )
             manual = UndergroundCollector(
                 client=tor_client,
@@ -298,6 +325,13 @@ class Study:
                     dataset.underground.extend(
                         manual.collect_market(market, site.host)
                     )
+
+        # Collection is over: seal the archive (hash-chain the indexes,
+        # GC unreferenced blobs, write archive.json).
+        archive_summary: Optional[dict] = None
+        if archive is not None:
+            with tracer.span("archive_seal"):
+                archive_summary = archive.summary(archive.seal(self.config))
 
         # Contract boundary: validate everything collection produced
         # before any analysis sees it.  Quarantined records leave the
@@ -327,6 +361,7 @@ class Study:
             fault_injector=injector,
             contracts=contracts,
             quarantine=quarantine,
+            archive=archive_summary,
         )
         # Fidelity scorecard: run the supervised analysis suite, then
         # score the collected dataset against the world's ground truth

@@ -323,6 +323,11 @@ class IterationCrawl:
     #: Optional :class:`~repro.obs.watchdog.CrawlWatchdog`; when set, it
     #: audits every iteration (coverage, error rates, stalls) in-flight.
     watchdog: Optional[object] = None
+    #: Optional :class:`~repro.archive.writer.ArchiveWriter` (duck-typed).
+    #: The crawl drives its phase lifecycle: one index file per
+    #: iteration, opened before any request and closed before the
+    #: checkpoint claims the iteration complete.
+    archive: Optional[object] = None
     #: offer URL -> (record, first_seen, last_seen)
     _tracker: Dict[str, ListingRecord] = field(default_factory=dict)
     reports: List[CrawlReport] = field(default_factory=list)
@@ -361,10 +366,17 @@ class IterationCrawl:
                     completed_iterations=start_iteration,
                     tracked_offers=len(self._tracker),
                 )
+        if self.archive is not None:
+            # Prune whatever the killed run wrote past its checkpoint —
+            # the resumed crawl rewrites it identically, so the sealed
+            # archive matches an uninterrupted twin's byte for byte.
+            self.archive.begin_resume(start_iteration)
         for iteration in range(start_iteration, self.iterations):
             self.set_iteration(iteration)  # type: ignore[operator]
             if self.watchdog is not None:
                 self.watchdog.begin_iteration(iteration)
+            if self.archive is not None:
+                self.archive.begin_iteration(iteration)
             iteration_reports: List[CrawlReport] = []
             active_count = 0
             with telemetry.tracer.span("crawl.iteration", iteration=iteration):
@@ -390,6 +402,11 @@ class IterationCrawl:
                         sellers_seen.setdefault(normalize_url(seller.seller_url), seller)
             if self.watchdog is not None:
                 self.watchdog.end_iteration(iteration, iteration_reports)
+            if self.archive is not None:
+                # Close the iteration's index before the checkpoint
+                # claims the iteration complete, so a kill between the
+                # two leaves at worst a prunable torn *next* index.
+                self.archive.end_iteration(iteration)
             logger.info(
                 "iteration %d: %d active listings, %d cumulative",
                 iteration, active_count, len(self._tracker),

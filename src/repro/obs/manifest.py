@@ -104,6 +104,7 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
             if scorecard is not None else None
         ),
         "contracts": contracts_section,
+        "archive": getattr(result, "archive", None),
         "stage_failures": [
             failure.to_dict()
             for failure in getattr(result, "stage_failures", [])

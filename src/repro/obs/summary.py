@@ -159,6 +159,25 @@ def _contracts_section(manifest: Optional[dict]) -> Optional[str]:
     return "\n".join(lines) if lines else None
 
 
+def _archive_section(manifest: Optional[dict]) -> Optional[str]:
+    archive = (manifest or {}).get("archive")
+    if not archive:
+        return None
+    lines = [
+        "crawl archive: "
+        f"{archive.get('exchanges_total', 0)} exchanges "
+        f"({archive.get('outcomes_total', 0)} outcomes), "
+        f"{archive.get('blobs_total', 0)} unique bodies, "
+        f"{archive.get('bytes_total', 0):,} bytes, "
+        f"dedup ratio {archive.get('dedup_ratio', 0.0):.3f}"
+    ]
+    if archive.get("dir"):
+        lines.append(f"  dir: {archive['dir']}")
+    if archive.get("chain_sha256"):
+        lines.append(f"  chain: {archive['chain_sha256']}")
+    return "\n".join(lines)
+
+
 def _stage_failures_section(manifest: Optional[dict]) -> Optional[str]:
     failures = (manifest or {}).get("stage_failures") or []
     if not failures:
@@ -216,6 +235,7 @@ def render_trace_summary(source: Union[str, RunDir]) -> str:
         _scorecard_section(run),
         _stage_failures_section(manifest),
         _contracts_section(manifest),
+        _archive_section(manifest),
         _watchdog_section(run),
         _http_section(run),
     ):

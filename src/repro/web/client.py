@@ -118,10 +118,19 @@ class HttpClient:
         config: Optional[ClientConfig] = None,
         client_id: str = "crawler",
         telemetry: Optional[Telemetry] = None,
+        capture=None,
     ) -> None:
         self._internet = internet
         self.config = config or ClientConfig()
         self.client_id = client_id
+        #: Optional :class:`~repro.archive.writer.ArchiveWriter` (duck-
+        #: typed).  When set, every wire exchange and every top-level
+        #: request outcome is archived.  Exchanges are recorded in
+        #: ``_send_once`` — *before* the retry/redirect machinery can
+        #: repair or discard them — so intermediate 503s, truncated
+        #: bodies, and timed-out responses land in the archive exactly
+        #: as observed.
+        self.capture = capture
         self.cookies: Dict[str, Dict[str, str]] = {}
         self.stats = ClientStats()
         self._robots_cache: Dict[str, Optional[RobotsPolicy]] = {}
@@ -222,10 +231,22 @@ class HttpClient:
         with self.telemetry.tracer.span("http.request", method=method, url=url):
             try:
                 response = self._follow_redirects(method, url, params, form)
+            except http.HttpError as exc:
+                if self.capture is not None:
+                    self.capture.record_outcome(
+                        client=self.client_id, method=method, url=url,
+                        params=params, form=form, error=exc,
+                    )
+                raise
             finally:
                 self._m_latency.observe(
                     self._internet.clock.now() - sim_start, host=host
                 )
+        if self.capture is not None:
+            self.capture.record_outcome(
+                client=self.client_id, method=method, url=url,
+                params=params, form=form, response=response,
+            )
         return response
 
     def _follow_redirects(
@@ -344,9 +365,17 @@ class HttpClient:
             cookies=dict(self.cookies.get(host, {})),
         )
         fetch_started = self._internet.clock.now()
-        response = self._internet.fetch(
-            request, client_id=self.client_id, via_tor=self.config.via_tor
-        )
+        try:
+            response = self._internet.fetch(
+                request, client_id=self.client_id, via_tor=self.config.via_tor
+            )
+        except ConnectionFailed as exc:
+            if self.capture is not None:
+                self.capture.record_exchange(
+                    client=self.client_id, method=method, url=url,
+                    params=params, form=form, error=exc,
+                )
+            raise
         self._last_request_at[host] = self._internet.clock.now()
         elapsed = self._internet.clock.now() - fetch_started
         timeout = self.config.timeout_seconds
@@ -354,9 +383,23 @@ class HttpClient:
             # The answer arrived after the client hung up: discard it.
             self.stats.timeouts += 1
             self._m_timeouts.inc(host=host)
-            raise RequestTimeout(
+            error = RequestTimeout(
                 f"no response from {host} within {timeout:.0f}s "
                 f"(server took {elapsed:.0f}s)"
+            )
+            if self.capture is not None:
+                # Archive the late answer as observed — the caller never
+                # sees it, but the archive keeps the wire truth.
+                self.capture.record_exchange(
+                    client=self.client_id, method=method, url=url,
+                    params=params, form=form, response=response,
+                    error=error, note="timeout_discarded",
+                )
+            raise error
+        if self.capture is not None:
+            self.capture.record_exchange(
+                client=self.client_id, method=method, url=url,
+                params=params, form=form, response=response,
             )
         self.stats.record(response.status, host=host)
         self._m_requests.inc(host=host, status=str(response.status))
@@ -413,9 +456,19 @@ class HttpClient:
             )
             self.stats.record(response.status, host=host)
             self._m_requests.inc(host=host, status=str(response.status))
-        except http.HttpError:
+        except http.HttpError as exc:
+            if self.capture is not None:
+                self.capture.record_exchange(
+                    client=self.client_id, method="GET", url=robots_url,
+                    error=exc, note="robots",
+                )
             self._robots_cache[host] = None
             return None
+        if self.capture is not None:
+            self.capture.record_exchange(
+                client=self.client_id, method="GET", url=robots_url,
+                response=response, note="robots",
+            )
         policy = RobotsPolicy.parse(response.body) if response.ok else None
         self._robots_cache[host] = policy
         return policy

@@ -1,0 +1,117 @@
+"""Property tests for the content-addressed blob store.
+
+The archive's integrity story rests on three invariants: whatever is
+stored comes back byte-identical, identical bodies are stored exactly
+once, and content addresses are a pure function of the bytes (so two
+runs — or two machines — agree on every address).  The corruption tests
+prove the converse: a single flipped byte is always detected.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive.blobstore import BlobNotFound, BlobStore, body_sha256
+
+_bodies = st.binary(min_size=0, max_size=2048)
+
+
+class TestRoundTrip:
+    @given(data=_bodies)
+    @settings(max_examples=60, deadline=None)
+    def test_store_then_load_is_byte_identical(self, data, tmp_path_factory):
+        store = BlobStore(str(tmp_path_factory.mktemp("blobs")))
+        digest, created = store.put(data)
+        assert created
+        assert store.get(digest) == data
+        assert store.size_of(digest) == len(data)
+
+    @given(data=_bodies)
+    @settings(max_examples=60, deadline=None)
+    def test_address_is_sha256_of_content(self, data, tmp_path_factory):
+        store = BlobStore(str(tmp_path_factory.mktemp("blobs")))
+        digest, _ = store.put(data)
+        assert digest == hashlib.sha256(data).hexdigest()
+        assert digest == body_sha256(data)
+
+    @given(bodies=st.lists(_bodies, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_bodies_stored_once(self, bodies, tmp_path_factory):
+        store = BlobStore(str(tmp_path_factory.mktemp("blobs")))
+        for body in bodies:
+            store.put(body)
+        unique = {body_sha256(b) for b in bodies}
+        assert store.count() == len(unique)
+        assert sorted(store.digests()) == sorted(unique)
+        assert store.total_bytes() == sum(
+            len(b) for b in {bytes(b): b for b in bodies}.values()
+        )
+
+    @given(data=_bodies)
+    @settings(max_examples=40, deadline=None)
+    def test_second_put_reports_dedup(self, data, tmp_path_factory):
+        store = BlobStore(str(tmp_path_factory.mktemp("blobs")))
+        _, first = store.put(data)
+        _, second = store.put(data)
+        assert first is True and second is False
+
+    @given(bodies=st.lists(_bodies, min_size=1, max_size=10, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_addresses_stable_across_stores(self, bodies, tmp_path_factory):
+        """Two independent stores agree on every content address."""
+        store_a = BlobStore(str(tmp_path_factory.mktemp("a")))
+        store_b = BlobStore(str(tmp_path_factory.mktemp("b")))
+        digests_a = [store_a.put(b)[0] for b in bodies]
+        digests_b = [store_b.put(b)[0] for b in reversed(bodies)]
+        assert sorted(digests_a) == sorted(digests_b)
+
+
+class TestIntegrity:
+    def test_missing_blob_raises(self, tmp_path):
+        store = BlobStore(str(tmp_path))
+        try:
+            store.get("0" * 64)
+            assert False, "expected BlobNotFound"
+        except BlobNotFound:
+            pass
+
+    def test_verify_clean_store_reports_nothing(self, tmp_path):
+        store = BlobStore(str(tmp_path))
+        for index in range(5):
+            store.put(f"body {index}".encode())
+        assert list(store.verify()) == []
+
+    def test_verify_flags_a_flipped_byte(self, tmp_path):
+        store = BlobStore(str(tmp_path))
+        digest, _ = store.put(b"<html><body>listing page</body></html>")
+        store.put(b"another, intact body")
+        store.flush()
+        stem, offset, _size = next(
+            (s, o, z) for s in store.phases()
+            for d, o, z in store.sidecar_entries(s) if d == digest
+        )
+        path = store.pack_path(stem)
+        data = bytearray(open(path, "rb").read())
+        data[offset + 5] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        problems = list(BlobStore(str(tmp_path)).verify())
+        assert len(problems) == 1
+        assert digest in problems[0] and "corrupt" in problems[0]
+
+    def test_torn_pack_invisible_until_pruned(self, tmp_path):
+        """A pack without a sidecar (crash mid-phase) holds no readable
+        blobs; verify flags it, and drop_phase removes it — the resume
+        path's pruning step."""
+        store = BlobStore(str(tmp_path))
+        digest, _ = store.put(b"complete body")
+        store.flush()
+        with open(store.pack_path("torn_phase"), "wb") as handle:
+            handle.write(b"half a bo")
+        reopened = BlobStore(str(tmp_path))
+        assert list(reopened.digests()) == [digest]
+        assert reopened.count() == 1
+        assert any("torn_phase" in p for p in reopened.verify())
+        reopened.drop_phase("torn_phase")
+        assert list(BlobStore(str(tmp_path)).verify()) == []

@@ -1,0 +1,110 @@
+"""Churn diffing between archived iterations (`repro archive diff`)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.archive.diff import diff_iterations
+from repro.archive.reader import ArchiveReader
+from repro.archive.records import ArchiveError
+from repro.archive.writer import ArchiveWriter
+from repro.marketplaces.registry import MARKETPLACES
+from repro.util.simtime import SimClock
+from repro.web.http import Response
+
+CONFIG = SimpleNamespace(
+    seed=3, scale=0.01, iterations=2, include_underground=False,
+    chaos_profile="off",
+)
+
+MARKET_A, MARKET_B = sorted(MARKETPLACES)[:2]
+HOST_A = MARKETPLACES[MARKET_A].host
+HOST_B = MARKETPLACES[MARKET_B].host
+
+
+def page(url, body):
+    return Response(
+        status=200, body=body, headers={}, url=url, set_cookies={}, elapsed=0.1
+    )
+
+
+def record_page(writer, url, body):
+    writer.record_outcome(
+        client="crawler", method="GET", url=url, response=page(url, body)
+    )
+
+
+@pytest.fixture()
+def reader(tmp_path):
+    """Two iterations with one page added, one removed, one changed,
+    one unchanged on marketplace A; marketplace B is stable."""
+    writer = ArchiveWriter(str(tmp_path / "archive"), clock=SimClock())
+
+    writer.begin_iteration(0)
+    record_page(writer, f"http://{HOST_A}/offer/stays", "same body")
+    record_page(writer, f"http://{HOST_A}/offer/mutates", "before")
+    record_page(writer, f"http://{HOST_A}/offer/vanishes", "short-lived")
+    record_page(writer, f"http://{HOST_B}/offer/solid", "rock")
+    record_page(writer, f"http://{HOST_A}/listings", "not an offer page")
+    record_page(writer, "http://elsewhere.example/offer/1", "unknown host")
+    writer.end_iteration(0)
+
+    writer.begin_iteration(1)
+    record_page(writer, f"http://{HOST_A}/offer/stays", "same body")
+    record_page(writer, f"http://{HOST_A}/offer/mutates", "after")
+    record_page(writer, f"http://{HOST_A}/offer/fresh", "new this iteration")
+    record_page(writer, f"http://{HOST_B}/offer/solid", "rock")
+    writer.end_iteration(1)
+
+    writer.seal(CONFIG)
+    return ArchiveReader.open(str(tmp_path / "archive"))
+
+
+class TestChurn:
+    def test_added_removed_changed_unchanged(self, reader):
+        diff = diff_iterations(reader, 0, 1)
+        by_market = {entry.marketplace: entry for entry in diff.churn}
+        a = by_market[MARKET_A]
+        assert (a.added, a.removed, a.changed, a.unchanged) == (1, 1, 1, 1)
+        b = by_market[MARKET_B]
+        assert (b.added, b.removed, b.changed, b.unchanged) == (0, 0, 0, 1)
+
+    def test_non_offer_and_unknown_hosts_excluded(self, reader):
+        diff = diff_iterations(reader, 0, 1)
+        assert {entry.marketplace for entry in diff.churn} == {MARKET_A, MARKET_B}
+        assert sum(entry.total for entry in diff.churn) == 5
+
+    def test_dedup_ratio_counts_repeated_bodies(self, reader):
+        diff = diff_iterations(reader, 0, 1)
+        # 8 offer bodies observed across the pair, 6 unique contents.
+        assert diff.dedup_ratio == pytest.approx(1.0 - 6 / 8)
+
+    def test_to_dict_and_render_agree(self, reader):
+        diff = diff_iterations(reader, 0, 1)
+        payload = diff.to_dict()
+        assert payload["left"] == 0 and payload["right"] == 1
+        text = diff.render_text()
+        assert MARKET_A in text and "TOTAL" in text
+        totals = [row for row in payload["marketplaces"]]
+        assert sum(r["added"] for r in totals) == 1
+
+    def test_missing_iteration_raises(self, reader):
+        with pytest.raises(ArchiveError, match="no index for iteration 7"):
+            diff_iterations(reader, 0, 7)
+
+    def test_same_url_refetched_keeps_last_body(self, tmp_path):
+        writer = ArchiveWriter(str(tmp_path / "archive"), clock=SimClock())
+        url = f"http://{HOST_A}/offer/refetched"
+        writer.begin_iteration(0)
+        record_page(writer, url, "truncated junk")
+        record_page(writer, url, "clean refetch")
+        writer.end_iteration(0)
+        writer.begin_iteration(1)
+        record_page(writer, url, "clean refetch")
+        writer.end_iteration(1)
+        writer.seal(CONFIG)
+        diff = diff_iterations(
+            ArchiveReader.open(str(tmp_path / "archive")), 0, 1
+        )
+        entry = next(e for e in diff.churn if e.marketplace == MARKET_A)
+        assert (entry.changed, entry.unchanged) == (0, 1)

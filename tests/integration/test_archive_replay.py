@@ -1,0 +1,91 @@
+"""Acceptance: live crawl → archive → offline replay, byte-identical.
+
+A study run with ``archive_dir`` set records every HTTP exchange;
+``run_replay`` then re-executes Module-2 extraction and the full
+analysis suite from the archive alone.  The replay must deploy no
+synthetic Internet at all (asserted by poisoning the ``Internet``
+constructor) and must reproduce the live run's dataset, meta series,
+simulated clock, and fidelity scorecard exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.archive import ArchiveError, ArchiveReader, run_replay
+from repro.core.pipeline import Study, StudyConfig
+
+CONFIG = dict(seed=41, scale=0.02, iterations=2, include_underground=True)
+
+
+@pytest.fixture(scope="module")
+def archived_run(tmp_path_factory):
+    archive_dir = str(tmp_path_factory.mktemp("crawl_archive"))
+    # Telemetry on so the live run computes the scorecard to compare
+    # against (replay always computes one).
+    live = Study(
+        StudyConfig(archive_dir=archive_dir, telemetry_enabled=True, **CONFIG)
+    ).run()
+    return live, archive_dir
+
+
+def test_archive_seals_and_verifies_clean(archived_run):
+    live, archive_dir = archived_run
+    reader = ArchiveReader.open(archive_dir)
+    assert reader.verify() == []
+    assert live.archive is not None and live.archive["sealed"] is True
+    assert live.archive["chain_sha256"] == reader.manifest["chain_sha256"]
+
+
+def test_replay_touches_no_synthetic_internet(archived_run, monkeypatch):
+    """The whole point of the archive: analysis without the crawl stack.
+
+    Any attempt to build an ``Internet`` (and therefore deploy sites,
+    inject faults, or wait out politeness) blows up the replay."""
+    _live, archive_dir = archived_run
+
+    import repro.web.server as server_module
+
+    def no_network(self, *args, **kwargs):
+        raise AssertionError("replay tried to construct a synthetic Internet")
+
+    monkeypatch.setattr(server_module.Internet, "__init__", no_network)
+    monkeypatch.setattr(server_module.Site, "__init__", no_network)
+    result = run_replay(archive_dir)
+    assert result.dataset.listings
+
+
+def test_replay_is_byte_identical_to_live(archived_run):
+    live, archive_dir = archived_run
+    replayed = run_replay(archive_dir)
+
+    assert replayed.dataset.listings == live.dataset.listings
+    assert replayed.dataset.sellers == live.dataset.sellers
+    assert replayed.dataset.profiles == live.dataset.profiles
+    assert replayed.dataset.posts == live.dataset.posts
+    assert replayed.dataset.underground == live.dataset.underground
+    assert replayed.active_per_iteration == live.active_per_iteration
+    assert replayed.cumulative_per_iteration == live.cumulative_per_iteration
+    assert replayed.payment_methods == live.payment_methods
+    # Float-exact, not approximate: the replay clock jumps to archived
+    # instants instead of re-simulating waits.
+    assert replayed.simulated_seconds == live.simulated_seconds
+    assert replayed.scorecard is not None and live.scorecard is not None
+    assert (
+        json.dumps(replayed.scorecard.to_dict(), sort_keys=True)
+        == json.dumps(live.scorecard.to_dict(), sort_keys=True)
+    )
+
+
+def test_replay_analyses_match_live(archived_run):
+    live, archive_dir = archived_run
+    replayed = run_replay(archive_dir)
+    assert replayed.contracts is not None
+    assert replayed.stage_failures == live.stage_failures
+    assert sorted(replayed.analyses.reports) == sorted(live.analyses.reports)
+    assert replayed.analyses.coverage() == live.analyses.coverage()
+
+
+def test_replay_refuses_unsealed_archive(tmp_path):
+    with pytest.raises(ArchiveError):
+        run_replay(str(tmp_path))
