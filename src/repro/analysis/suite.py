@@ -25,6 +25,7 @@ from repro.analysis.sellers import SellerActivityAnalysis
 from repro.analysis.underground_analysis import UndergroundAnalysis
 from repro.contracts.supervisor import StageFailure, StageSupervisor
 from repro.core.dataset import MeasurementDataset
+from repro.obs.prof import NULL_PROFILER
 
 #: The nine analysis stages, in canonical execution order.
 STAGE_NAMES = (
@@ -78,9 +79,28 @@ def run_analysis_suite(
     """
     scam_config = scam_config or ScamPipelineConfig(dbscan_eps=0.9)
     results = AnalysisResults()
+    profiler = getattr(telemetry, "profiler", NULL_PROFILER)
+
+    # Per-stage record throughput: how many input records each stage
+    # chews through (the profiler divides by sim time for records/s).
+    sizes = {
+        "anatomy": len(dataset.listings),
+        "account_setup": len(dataset.profiles),
+        "scam_posts": len(dataset.posts),
+        "network": len(dataset.listings),
+        "efficacy": len(dataset.profiles),
+        "underground": len(dataset.underground),
+        "sellers": len(dataset.listings),
+        "infrastructure": len(dataset.posts),
+        "indicators": len(dataset.listings),
+    }
 
     def stage(name: str, fn, *args, **kwargs):
-        results.reports[name] = supervisor.run(name, fn, *args, **kwargs)
+        with profiler.stage(name):
+            results.reports[name] = supervisor.run(name, fn, *args, **kwargs)
+        profiler.add_counts(
+            profiler.stage_key(name), records=sizes.get(name, 0)
+        )
         return results.reports[name]
 
     stage("anatomy", MarketplaceAnatomy().run, dataset)

@@ -19,7 +19,13 @@ Commands
     (scorecard drops, new error kinds, coverage losses, sim slowdowns).
 ``health``
     Render a telemetry directory as a single-file HTML dashboard;
-    ``--strict`` fails the command when the run looks unhealthy.
+    ``--strict`` fails the command when the run looks unhealthy
+    (including a ``profile.json`` that misses analysis stages).
+``bench``
+    Run the scale-0.02 throughput study N times and write the
+    ``BENCH_pipeline.json`` perf baseline; ``--compare BASELINE``
+    classifies drift per metric and exits 1 on regression, 2 on a
+    corrupt or schema-mismatched baseline.
 ``replay``
     Re-run extraction + analysis offline from a sealed crawl archive
     (``run --archive-dir``); the outputs are byte-identical to the live
@@ -61,17 +67,23 @@ from repro.core import MeasurementDataset, Study, StudyConfig
 from repro.core import reports
 from repro.marketplaces.channels import CHANNELS
 from repro.obs import (
+    BENCH_FILENAME,
     NULL_TELEMETRY,
+    BenchError,
     DiffConfig,
     RunDir,
     Telemetry,
     TelemetryDirError,
     build_manifest,
+    compare_bench,
     configure_logging,
     diff_runs,
-    health_status,
+    health_problems,
+    load_baseline,
     render_health_html,
     render_trace_summary,
+    run_bench,
+    write_bench,
     write_manifest,
     write_scorecard,
 )
@@ -87,6 +99,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         iterations=args.iterations,
         include_underground=not args.no_underground,
         telemetry_enabled=bool(getattr(args, "telemetry_out", None)),
+        profile_enabled=bool(getattr(args, "profile", False)),
         chaos_profile=getattr(args, "chaos", "off") or "off",
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         resume=bool(getattr(args, "resume", False)),
@@ -207,7 +220,21 @@ def _render_all(dataset: MeasurementDataset, scale: float,
     write(reports.render_fig3(fig3_outlier(dataset)))
 
 
+def _check_profile_args(args: argparse.Namespace) -> Optional[str]:
+    """``--profile`` writes profile.json into the telemetry dir, so it
+    needs one; returns the error line (exit 2) when it is missing."""
+    if getattr(args, "profile", False) and \
+            not getattr(args, "telemetry_out", None):
+        return "--profile requires --telemetry-out (profile.json is " \
+               "written into the telemetry directory)"
+    return None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    problem = _check_profile_args(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     config = _study_config(args)
     telemetry = _telemetry_for(args)
     try:
@@ -263,6 +290,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
+    problem = _check_profile_args(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     config = _study_config(args)
     telemetry = _telemetry_for(args)
     try:
@@ -335,10 +366,47 @@ def cmd_health(args: argparse.Namespace) -> int:
     out_path = args.out or os.path.join(args.run_dir, REPORT_FILENAME)
     with open(out_path, "w", encoding="utf-8") as handle:
         handle.write(render_health_html(run))
-    healthy = health_status(run)
-    print(f"wrote {out_path} ({'healthy' if healthy else 'UNHEALTHY'})")
-    if args.strict and not healthy:
+    problems = health_problems(run)
+    print(f"wrote {out_path} ({'healthy' if not problems else 'UNHEALTHY'})")
+    for problem in problems:
+        print(f"  - {problem}", file=sys.stderr)
+    if args.strict and problems:
         return 1
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    configure_logging(getattr(args, "log_level", "warning"))
+    bench = run_bench(
+        rounds=args.rounds,
+        scale=args.scale,
+        iterations=args.iterations,
+        seed=args.seed,
+        profile_out=args.profile_out,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.compare:
+        try:
+            baseline = load_baseline(args.compare)
+            comparison = compare_bench(
+                baseline, bench,
+                tolerance=args.tolerance, baseline_path=args.compare,
+            )
+        except BenchError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(comparison.render_text())
+        if args.out:
+            print(f"wrote {write_bench(args.out, bench)}")
+        return 1 if comparison.regressed else 0
+    out = args.out or BENCH_FILENAME
+    print(f"wrote {write_bench(out, bench)}")
+    totals = bench["totals"]
+    print(
+        f"  wall median {totals['wall_seconds']['median']:.2f}s, "
+        f"{totals['pages_per_second_median']:,.0f} pages/s, "
+        f"{totals['records_per_second_median']:,.0f} records/s"
+    )
     return 0
 
 
@@ -465,6 +533,10 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry-out", default=None, metavar="DIR",
                         help="enable telemetry and write manifest.json, "
                              "metrics.json, trace.jsonl, events.jsonl here")
+    parser.add_argument("--profile", action="store_true",
+                        help="record a performance profile (per-phase "
+                             "wall/sim/memory/throughput) and write "
+                             "profile.json into --telemetry-out")
     parser.add_argument("--strict-contracts", action="store_true",
                         help="treat any quarantined record as a hard "
                              "error (exit 3) instead of dead-lettering "
@@ -541,6 +613,37 @@ def build_parser() -> argparse.ArgumentParser:
                                help="exit 1 when the scorecard failed or the "
                                     "watchdog found critical issues")
     health_parser.set_defaults(handler=cmd_health)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="run the throughput study N times; write BENCH_pipeline.json "
+             "or compare against a committed baseline",
+    )
+    bench_parser.add_argument("--rounds", type=int, default=None,
+                              help="timing rounds (default: "
+                                   "REPRO_BENCH_ROUNDS or 5)")
+    bench_parser.add_argument("--scale", type=float, default=0.02,
+                              help="world scale for the bench study")
+    bench_parser.add_argument("--iterations", type=int, default=3)
+    bench_parser.add_argument("--seed", type=int, default=99)
+    bench_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="where to write the bench JSON "
+                                   f"(default: {BENCH_FILENAME}; in "
+                                   "--compare mode nothing is written "
+                                   "unless set, so the baseline survives)")
+    bench_parser.add_argument("--compare", default=None, metavar="BASELINE",
+                              help="compare against a committed baseline "
+                                   "instead of recording one; exits 1 on "
+                                   "regression, 2 on a corrupt baseline")
+    bench_parser.add_argument("--tolerance", type=float, default=0.25,
+                              help="relative drift tolerated before a "
+                                   "metric counts as improved/regressed")
+    bench_parser.add_argument("--profile-out", default=None, metavar="PATH",
+                              help="also export the memory round's full "
+                                   "profile.json here")
+    bench_parser.add_argument("--log-level", default="warning",
+                              choices=["debug", "info", "warning", "error"])
+    bench_parser.set_defaults(handler=cmd_bench)
 
     replay_parser = commands.add_parser(
         "replay",

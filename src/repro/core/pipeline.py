@@ -18,7 +18,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.suite import AnalysisResults, run_analysis_suite
+from repro.analysis.suite import AnalysisResults, STAGE_NAMES, run_analysis_suite
 from repro.archive.writer import POST_COLLECTION_PHASE, ArchiveWriter
 from repro.contracts.quarantine import QuarantineStore
 from repro.contracts.schema import ValidationReport, validate_dataset
@@ -35,6 +35,7 @@ from repro.marketplaces.deploy import (
     set_iteration,
 )
 from repro.marketplaces.registry import MARKETPLACES
+from repro.obs.prof import StageProfiler
 from repro.obs.quality import Scorecard, compute_scorecard
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.watchdog import CrawlWatchdog
@@ -66,6 +67,12 @@ class StudyConfig:
     #: Cheap counter arithmetic; on by default, active only when
     #: telemetry is recording.
     watchdogs_enabled: bool = True
+    #: Record a performance profile (per-phase/per-stage wall, sim,
+    #: memory via tracemalloc, throughput) exported as ``profile.json``
+    #: next to the telemetry files.  Off by default: tracemalloc roughly
+    #: doubles allocation cost, so profiling must never leak into
+    #: benchmark timings or the <5% telemetry-overhead budget.
+    profile_enabled: bool = False
     #: Compute the fidelity scorecard at the end of the run.  This
     #: re-runs the analysis stages (including the NLP pipeline), so
     #: benchmarks that time the crawl alone should turn it off.
@@ -151,6 +158,13 @@ class Study:
             self.telemetry = Telemetry()
         else:
             self.telemetry = NULL_TELEMETRY
+        # ``profile_enabled`` installs a profiler on the (enabled)
+        # telemetry unless the caller already supplied one.
+        if (self.config.profile_enabled and self.telemetry.enabled
+                and not self.telemetry.profiler.enabled):
+            self.telemetry.profiler = StageProfiler(
+                stages_expected=STAGE_NAMES
+            )
 
     # -- module 1: collect marketplaces ------------------------------------
 
@@ -163,14 +177,19 @@ class Study:
 
     def run(self) -> StudyResult:
         telemetry = self.telemetry
-        with telemetry.tracer.span(
-            "study", seed=self.config.seed, scale=self.config.scale
-        ):
-            result = self._run_instrumented(telemetry)
+        telemetry.profiler.start()
+        try:
+            with telemetry.tracer.span(
+                "study", seed=self.config.seed, scale=self.config.scale
+            ):
+                result = self._run_instrumented(telemetry)
+        finally:
+            telemetry.profiler.finish()
         return result
 
     def _run_instrumented(self, telemetry: Telemetry) -> StudyResult:
         tracer = telemetry.tracer
+        profiler = telemetry.profiler
         internet = Internet()
         telemetry.set_clock(internet.clock)
         internet.set_telemetry(telemetry)
@@ -188,9 +207,9 @@ class Study:
             )
             network = injector
 
-        with tracer.span("build_world"):
+        with tracer.span("build_world"), profiler.phase("build_world"):
             world = WorldBuilder(self.config.world_config()).build()
-        with tracer.span("deploy"):
+        with tracer.span("deploy"), profiler.phase("deploy"):
             # Collection runs against the pre-ban state of the platforms;
             # the Section-8 status sweep at the end sees enforcement.
             platform_sites = deploy_platforms(
@@ -264,8 +283,13 @@ class Study:
             watchdog=watchdog,
             archive=archive,
         )
-        with tracer.span("iteration_crawl"):
+        with tracer.span("iteration_crawl"), profiler.phase("iteration_crawl"):
             dataset = crawl.run()
+        profiler.add_counts(
+            "iteration_crawl",
+            pages=sum(r.pages_fetched for r in crawl.reports),
+            records=len(dataset.listings),
+        )
         if watchdog is not None:
             watchdog.finish()
         if archive is not None:
@@ -285,26 +309,35 @@ class Study:
 
         # Payment pages, once per marketplace (Table 3).
         payments: Dict[str, List[Tuple[str, str]]] = {}
-        with tracer.span("payment_pages"):
+        with tracer.span("payment_pages"), profiler.phase("payment_pages"):
             for name, spec in MARKETPLACES.items():
                 crawler = MarketplaceCrawler(
                     client, name, f"http://{spec.host}/listings",
                     telemetry=telemetry,
                 )
                 payments[name] = crawler.collect_payment_methods()
+        profiler.add_counts(
+            "payment_pages",
+            records=sum(len(pairs) for pairs in payments.values()),
+        )
 
         # Profile metadata + timelines for visible accounts, collected
         # while the accounts are still live.
         collector = ProfileCollector(client, telemetry=telemetry)
-        with tracer.span("profile_collection"):
+        with tracer.span("profile_collection"), profiler.phase("profile_collection"):
             profiles, posts = collector.collect(dataset.listings)
         dataset.profiles = profiles
         dataset.posts = posts
+        profiler.add_counts(
+            "profile_collection",
+            records=len(profiles) + len(posts),
+        )
 
         # End-of-study status sweep (Section 8): bans are now visible.
-        with tracer.span("status_sweep"):
+        with tracer.span("status_sweep"), profiler.phase("status_sweep"):
             enable_moderation(platform_sites)
             collector.sweep_status(dataset.profiles)
+        profiler.add_counts("status_sweep", records=len(dataset.profiles))
 
         # Underground manual-protocol collection.
         if underground_sites:
@@ -320,17 +353,22 @@ class Study:
                 solver=HumanSolver(self._rng.child("solver")),
                 telemetry=telemetry,
             )
-            with tracer.span("underground_collection"):
+            with tracer.span("underground_collection"), \
+                    profiler.phase("underground_collection"):
                 for market, site in underground_sites.items():
                     dataset.underground.extend(
                         manual.collect_market(market, site.host)
                     )
+            profiler.add_counts(
+                "underground_collection", records=len(dataset.underground)
+            )
+            profiler.add_client("manual-analyst", tor_client.stats)
 
         # Collection is over: seal the archive (hash-chain the indexes,
         # GC unreferenced blobs, write archive.json).
         archive_summary: Optional[dict] = None
         if archive is not None:
-            with tracer.span("archive_seal"):
+            with tracer.span("archive_seal"), profiler.phase("archive_seal"):
                 archive_summary = archive.summary(archive.seal(self.config))
 
         # Contract boundary: validate everything collection produced
@@ -342,12 +380,17 @@ class Study:
         )
         contracts: Optional[ValidationReport] = None
         if self.config.contracts_enabled:
-            with tracer.span("contracts"):
+            with tracer.span("contracts"), profiler.phase("contracts"):
                 contracts = validate_dataset(
                     dataset, quarantine,
                     telemetry if telemetry.enabled else None,
                 )
+            if contracts is not None:
+                profiler.add_counts(
+                    "contracts", records=contracts.checked_total
+                )
 
+        profiler.add_client("crawler", client.stats)
         result = StudyResult(
             dataset=dataset,
             world=world,
@@ -373,12 +416,12 @@ class Study:
                 strict=self.config.strict_contracts,
                 fail_stages=self.config.fail_stages,
             )
-            with tracer.span("analysis_suite"):
+            with tracer.span("analysis_suite"), profiler.phase("analysis_suite"):
                 result.analyses = run_analysis_suite(
                     dataset, supervisor, telemetry=telemetry,
                 )
             result.stage_failures = list(supervisor.failures)
-            with tracer.span("scorecard"):
+            with tracer.span("scorecard"), profiler.phase("scorecard"):
                 result.scorecard = compute_scorecard(
                     result, analyses=result.analyses,
                 )

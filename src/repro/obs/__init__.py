@@ -19,8 +19,23 @@ package makes it inspectable end to end:
   (coverage, error/ban rates, stalls);
 * :mod:`repro.obs.rundir` — defensive loading of telemetry dirs;
 * :mod:`repro.obs.diff` — run-to-run regression diffing;
-* :mod:`repro.obs.report_html` — the single-file health dashboard.
+* :mod:`repro.obs.report_html` — the single-file health dashboard;
+* :mod:`repro.obs.prof` — the ``--profile`` performance profiler
+  (per-phase/per-stage wall, sim, memory, throughput → profile.json);
+* :mod:`repro.obs.bench` — the ``repro bench`` harness behind the
+  committed ``BENCH_pipeline.json`` perf baseline.
 """
+
+from repro.obs.bench import (
+    BENCH_FILENAME,
+    BENCH_SCHEMA,
+    BenchComparison,
+    BenchError,
+    compare_bench,
+    load_baseline,
+    run_bench,
+    write_bench,
+)
 
 from repro.obs.diff import DiffConfig, DiffLine, RunDiff, diff_runs
 from repro.obs.events import Event, EventLog, NullEventLog
@@ -47,7 +62,21 @@ from repro.obs.quality import (
     load_scorecard,
     write_scorecard,
 )
-from repro.obs.report_html import health_status, render_health_html
+from repro.obs.prof import (
+    NULL_PROFILER,
+    PROFILE_FILENAME,
+    PROFILE_SCHEMA,
+    NullProfiler,
+    StageProfiler,
+    deterministic_view,
+    load_profile,
+    profile_stage_coverage,
+)
+from repro.obs.report_html import (
+    health_problems,
+    health_status,
+    render_health_html,
+)
 from repro.obs.rundir import RunDir, TelemetryDirError
 from repro.obs.summary import render_trace_summary
 from repro.obs.telemetry import (
@@ -62,6 +91,10 @@ from repro.obs.trace import NullTracer, SpanRecord, SpanTracer, stage_summary
 from repro.obs.watchdog import CrawlWatchdog, Finding, WatchdogConfig
 
 __all__ = [
+    "BENCH_FILENAME",
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "BenchError",
     "Counter",
     "CrawlWatchdog",
     "DiffConfig",
@@ -76,13 +109,18 @@ __all__ = [
     "METRICS_FILENAME",
     "MetricError",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TELEMETRY",
     "NullEventLog",
+    "NullProfiler",
     "NullRegistry",
     "NullTracer",
+    "PROFILE_FILENAME",
+    "PROFILE_SCHEMA",
     "RunDiff",
     "RunDir",
     "SCORECARD_FILENAME",
+    "StageProfiler",
     "Scorecard",
     "ScoreEntry",
     "SpanRecord",
@@ -92,16 +130,24 @@ __all__ = [
     "TelemetryDirError",
     "WatchdogConfig",
     "build_manifest",
+    "compare_bench",
     "compute_scorecard",
     "configure_logging",
+    "deterministic_view",
     "diff_runs",
     "git_describe",
+    "health_problems",
     "health_status",
+    "load_baseline",
     "load_manifest",
+    "load_profile",
     "load_scorecard",
+    "profile_stage_coverage",
     "render_health_html",
     "render_trace_summary",
+    "run_bench",
     "stage_summary",
+    "write_bench",
     "write_manifest",
     "write_scorecard",
 ]

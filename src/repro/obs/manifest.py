@@ -111,6 +111,11 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
         ],
         "events": telemetry.events.counts_by_kind(),
         "metrics": telemetry.metrics.snapshot(),
+        "profile": (
+            telemetry.profiler.summary()
+            if getattr(telemetry, "profiler", None) is not None
+            and telemetry.profiler.enabled else None
+        ),
     }
 
 

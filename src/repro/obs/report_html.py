@@ -15,6 +15,7 @@ import html
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.metrics import exported_histogram_quantile
+from repro.obs.prof import profile_stage_coverage
 from repro.obs.rundir import RunDir
 
 REPORT_FILENAME = "health.html"
@@ -207,6 +208,68 @@ def _section_http(run: RunDir) -> str:
     )
 
 
+def _section_profile(run: RunDir) -> str:
+    """Hot stages (by wall time) and memory peaks from ``profile.json``."""
+    profile = run.profile
+    if not profile:
+        return ""
+    phases = profile.get("phases") or []
+    hot = sorted(phases, key=lambda p: -p.get("wall_seconds", 0.0))[:10]
+    rows = []
+    for phase in hot:
+        throughput = phase.get("throughput") or {}
+        rate = ", ".join(
+            f"{key.replace('_per_second', '')}: {value:,.0f}/s"
+            for key, value in sorted(throughput.items())
+        )
+        rows.append([
+            html.escape(phase.get("name", "")),
+            f"{phase.get('wall_seconds', 0.0):.3f}",
+            f"{phase.get('sim_seconds', 0.0):,.1f}",
+            html.escape(rate),
+        ])
+    sections = ["<h2>Hot stages (profile.json, by wall time)</h2>"]
+    missing = profile_stage_coverage(profile)
+    if missing:
+        sections.append(
+            '<p class="fail">profile missing analysis stages: '
+            f"{html.escape(', '.join(missing))}</p>"
+        )
+    sections.append(_table(
+        ["phase", "wall s", "sim s", "throughput"], rows, numeric=(1, 2)
+    ))
+    mem_rows = []
+    for phase in sorted(
+        phases,
+        key=lambda p: -((p.get("memory") or {}).get("peak_bytes", 0)),
+    )[:10]:
+        memory = phase.get("memory") or {}
+        top = memory.get("top_allocations") or []
+        top_site = top[0]["site"] if top else ""
+        mem_rows.append([
+            html.escape(phase.get("name", "")),
+            f"{memory.get('peak_bytes', 0) / 1e6:,.1f}",
+            f"{memory.get('net_bytes', 0) / 1e6:,.1f}",
+            html.escape(top_site),
+        ])
+    if mem_rows:
+        totals_mem = (profile.get("totals") or {}).get("memory") or {}
+        label_bits = []
+        if totals_mem.get("tracemalloc_peak_bytes"):
+            label_bits.append(
+                f"tracemalloc peak {totals_mem['tracemalloc_peak_bytes'] / 1e6:,.1f} MB"
+            )
+        if totals_mem.get("rss_max_kb"):
+            label_bits.append(f"max RSS {totals_mem['rss_max_kb'] / 1024:,.1f} MB")
+        label = f" ({html.escape(', '.join(label_bits))})" if label_bits else ""
+        sections.append(f"<h2>Memory{label}</h2>")
+        sections.append(_table(
+            ["phase", "peak MB", "net MB", "top allocation site"],
+            mem_rows, numeric=(1, 2),
+        ))
+    return "\n".join(sections)
+
+
 def _section_events(run: RunDir) -> str:
     counts = run.event_kind_counts()
     if not counts:
@@ -223,6 +286,7 @@ def render_health_html(run: RunDir) -> str:
         _section_scorecard(run),
         _section_watchdog(run),
         _section_stages(run),
+        _section_profile(run),
         _section_crawl(run),
         _section_http(run),
         _section_events(run),
@@ -235,15 +299,46 @@ def render_health_html(run: RunDir) -> str:
     )
 
 
-def health_status(run: RunDir) -> bool:
-    """True when the run looks healthy: scorecard passed (or absent) and
-    no critical watchdog findings."""
+def health_problems(run: RunDir) -> List[str]:
+    """Every reason the run counts as unhealthy, one line each.
+
+    Checks: scorecard failed, critical watchdog findings, and — when the
+    run was profiled — ``profile.json`` missing any of the expected
+    analysis stages (surfaced like ``analysis_stage_coverage``).
+    """
+    problems: List[str] = []
     if run.scorecard and not run.scorecard.get("passed", False):
-        return False
+        failed = [
+            entry.get("name", "")
+            for entry in run.scorecard.get("entries", [])
+            if not entry.get("passed", False)
+        ]
+        problems.append(
+            "scorecard failed"
+            + (f" ({', '.join(failed)})" if failed else "")
+        )
     summary = run.watchdog_summary() or {}
-    if (summary.get("counts") or {}).get("critical"):
-        return False
-    return True
+    critical = (summary.get("counts") or {}).get("critical")
+    if critical:
+        problems.append(f"watchdog reported {critical} critical finding(s)")
+    if run.profile is not None:
+        missing = profile_stage_coverage(run.profile)
+        if missing:
+            problems.append(
+                "profile.json missing analysis stage(s): "
+                + ", ".join(missing)
+            )
+    return problems
 
 
-__all__ = ["REPORT_FILENAME", "health_status", "render_health_html"]
+def health_status(run: RunDir) -> bool:
+    """True when :func:`health_problems` finds nothing wrong."""
+    return not health_problems(run)
+
+
+__all__ = [
+    "REPORT_FILENAME",
+    "health_problems",
+    "health_status",
+    "render_health_html",
+]

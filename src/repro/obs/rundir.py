@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.events import Event, EventLog
 from repro.obs.manifest import MANIFEST_FILENAME
+from repro.obs.prof import PROFILE_FILENAME
 from repro.obs.quality import SCORECARD_FILENAME
 from repro.obs.telemetry import (
     EVENTS_FILENAME,
@@ -33,6 +34,7 @@ TELEMETRY_FILES = (
     TRACE_FILENAME,
     EVENTS_FILENAME,
     SCORECARD_FILENAME,
+    PROFILE_FILENAME,
 )
 
 
@@ -51,6 +53,8 @@ class RunDir:
     manifest: Optional[dict] = None
     metrics: Optional[dict] = None
     scorecard: Optional[dict] = None
+    #: Parsed ``profile.json`` when the run was profiled (``--profile``).
+    profile: Optional[dict] = None
     events: List[Event] = field(default_factory=list)
     stages: List[dict] = field(default_factory=list)
 
@@ -75,6 +79,7 @@ class RunDir:
         run.manifest = cls._load_json(path, MANIFEST_FILENAME)
         run.metrics = cls._load_json(path, METRICS_FILENAME)
         run.scorecard = cls._load_json(path, SCORECARD_FILENAME)
+        run.profile = cls._load_json(path, PROFILE_FILENAME)
         if run.metrics is None and run.manifest:
             run.metrics = run.manifest.get("metrics")
         events_path = os.path.join(path, EVENTS_FILENAME)

@@ -89,6 +89,72 @@ def _http_section(run: RunDir) -> Optional[str]:
     )
 
 
+def _profile_sections(run: RunDir) -> List[str]:
+    """"hot stages" and "memory peaks" from ``profile.json``, when the
+    run was profiled (``repro run --profile``)."""
+    profile = run.profile
+    if not profile:
+        return []
+    phases = profile.get("phases") or []
+    sections: List[str] = []
+    hot = sorted(phases, key=lambda p: -p.get("wall_seconds", 0.0))[:8]
+    if hot:
+        rows = []
+        for phase in hot:
+            throughput = phase.get("throughput") or {}
+            rate = ", ".join(
+                f"{key.replace('_per_second', '')} {value:,.0f}/s"
+                for key, value in sorted(throughput.items())
+            )
+            rows.append([
+                phase.get("name", ""),
+                f"{phase.get('wall_seconds', 0.0):.3f}",
+                f"{phase.get('sim_seconds', 0.0):,.1f}",
+                rate,
+            ])
+        sections.append(
+            "hot stages (profile.json, by wall time):\n"
+            + _format_table(["phase", "wall s", "sim s", "throughput"], rows)
+        )
+    by_peak = sorted(
+        phases,
+        key=lambda p: -((p.get("memory") or {}).get("peak_bytes", 0)),
+    )[:8]
+    mem_rows = []
+    for phase in by_peak:
+        memory = phase.get("memory") or {}
+        if not memory.get("peak_bytes"):
+            continue
+        top = memory.get("top_allocations") or []
+        mem_rows.append([
+            phase.get("name", ""),
+            f"{memory.get('peak_bytes', 0) / 1e6:,.1f}",
+            f"{memory.get('net_bytes', 0) / 1e6:,.1f}",
+            top[0]["site"] if top else "",
+        ])
+    if mem_rows:
+        totals_mem = (profile.get("totals") or {}).get("memory") or {}
+        label_bits = []
+        if totals_mem.get("tracemalloc_peak_bytes"):
+            label_bits.append(
+                "tracemalloc peak "
+                f"{totals_mem['tracemalloc_peak_bytes'] / 1e6:,.1f} MB"
+            )
+        if totals_mem.get("rss_max_kb"):
+            label_bits.append(
+                f"max RSS {totals_mem['rss_max_kb'] / 1024:,.1f} MB"
+            )
+        label = f" ({', '.join(label_bits)})" if label_bits else ""
+        sections.append(
+            f"memory peaks{label}:\n"
+            + _format_table(
+                ["phase", "peak MB", "net MB", "top allocation site"],
+                mem_rows,
+            )
+        )
+    return sections
+
+
 def _watchdog_section(run: RunDir) -> Optional[str]:
     summary = run.watchdog_summary()
     if summary is None:
@@ -236,6 +302,7 @@ def render_trace_summary(source: Union[str, RunDir]) -> str:
         _stage_failures_section(manifest),
         _contracts_section(manifest),
         _archive_section(manifest),
+        *_profile_sections(run),
         _watchdog_section(run),
         _http_section(run),
     ):

@@ -20,6 +20,7 @@ from typing import List, Optional, Union
 
 from repro.obs.events import EventLog, NullEventLog
 from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.prof import NULL_PROFILER, PROFILE_FILENAME, StageProfiler
 from repro.obs.trace import NullTracer, SpanTracer
 from repro.util.simtime import SimClock
 
@@ -29,11 +30,15 @@ EVENTS_FILENAME = "events.jsonl"
 
 
 class Telemetry:
-    """Metrics + tracing + events behind one on/off switch."""
+    """Metrics + tracing + events (+ optional profiler) behind one switch."""
 
     def __init__(self, enabled: bool = True,
-                 clock: Optional[SimClock] = None) -> None:
+                 clock: Optional[SimClock] = None,
+                 profiler: Optional[StageProfiler] = None) -> None:
         self.enabled = enabled
+        #: The performance profiler (``--profile``); the shared no-op
+        #: unless one is supplied or installed later by the pipeline.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         if enabled:
             self.metrics: Union[MetricsRegistry, NullRegistry] = MetricsRegistry()
             self.tracer: Union[SpanTracer, NullTracer] = SpanTracer(clock)
@@ -51,9 +56,11 @@ class Telemetry:
     def set_clock(self, clock: SimClock) -> None:
         self.tracer.set_clock(clock)
         self.events.set_clock(clock)
+        self.profiler.set_clock(clock)
 
     def export(self, directory: str) -> List[str]:
-        """Write metrics.json, trace.jsonl, and events.jsonl to a dir.
+        """Write metrics.json, trace.jsonl, events.jsonl — plus
+        profile.json when the run was profiled — to a dir.
 
         Returns the written paths; a disabled telemetry writes nothing.
         """
@@ -68,6 +75,10 @@ class Telemetry:
         self.metrics.write_json(paths[0])
         self.tracer.export_jsonl(paths[1])
         self.events.export_jsonl(paths[2])
+        if self.profiler.enabled:
+            profile_path = os.path.join(directory, PROFILE_FILENAME)
+            self.profiler.export_json(profile_path)
+            paths.append(profile_path)
         return paths
 
 

@@ -93,6 +93,10 @@ class ClientStats:
     by_status: Dict[int, int] = field(default_factory=dict)
     #: Requests per hostname (includes robots.txt fetches).
     by_host: Dict[str, int] = field(default_factory=dict)
+    #: Response body bytes received, total and per hostname — the raw
+    #: material for the profiler's per-host throughput rates.
+    bytes_received: int = 0
+    bytes_by_host: Dict[str, int] = field(default_factory=dict)
     #: Simulated seconds spent waiting in retry backoff.
     retry_wait_seconds: float = 0.0
     #: Simulated seconds spent waiting for per-host politeness spacing.
@@ -102,11 +106,18 @@ class ClientStats:
     #: Requests fast-failed by an open circuit breaker.
     breaker_fast_fails: int = 0
 
-    def record(self, status: int, host: Optional[str] = None) -> None:
+    def record(self, status: int, host: Optional[str] = None,
+               nbytes: int = 0) -> None:
         self.requests_sent += 1
         self.by_status[status] = self.by_status.get(status, 0) + 1
         if host is not None:
             self.by_host[host] = self.by_host.get(host, 0) + 1
+        if nbytes:
+            self.bytes_received += nbytes
+            if host is not None:
+                self.bytes_by_host[host] = (
+                    self.bytes_by_host.get(host, 0) + nbytes
+                )
 
 
 class HttpClient:
@@ -167,6 +178,10 @@ class HttpClient:
         self._m_timeouts = metrics.counter(
             "http_timeouts_total", "requests abandoned at the client timeout",
             labels=("host",),
+        )
+        self._m_response_bytes = metrics.counter(
+            "http_response_bytes_total",
+            "response body bytes received, by host", labels=("host",),
         )
         self._m_breaker_state = metrics.gauge(
             "circuit_breaker_state",
@@ -401,8 +416,11 @@ class HttpClient:
                 client=self.client_id, method=method, url=url,
                 params=params, form=form, response=response,
             )
-        self.stats.record(response.status, host=host)
+        nbytes = len(response.body or "")
+        self.stats.record(response.status, host=host, nbytes=nbytes)
         self._m_requests.inc(host=host, status=str(response.status))
+        if nbytes:
+            self._m_response_bytes.inc(nbytes, host=host)
         if response.set_cookies:
             jar = self.cookies.setdefault(host, {})
             jar.update(response.set_cookies)
@@ -454,8 +472,11 @@ class HttpClient:
             response = self._internet.fetch(
                 request, client_id=self.client_id, via_tor=self.config.via_tor
             )
-            self.stats.record(response.status, host=host)
+            nbytes = len(response.body or "")
+            self.stats.record(response.status, host=host, nbytes=nbytes)
             self._m_requests.inc(host=host, status=str(response.status))
+            if nbytes:
+                self._m_response_bytes.inc(nbytes, host=host)
         except http.HttpError as exc:
             if self.capture is not None:
                 self.capture.record_exchange(

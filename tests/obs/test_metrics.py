@@ -187,6 +187,58 @@ class TestQuantiles:
         assert NullRegistry().histogram("h").quantile(0.5) == 0.0
 
 
+class TestQuantileEdgeCases:
+    def test_q_zero_is_distribution_floor(self):
+        # With mass in the first bucket, rank 0 interpolates to the
+        # bucket's lower edge (0.0).
+        assert quantile_from_buckets([1.0, 2.0], [5, 10], 10, 0.0) == 0.0
+
+    def test_q_one_is_distribution_ceiling(self):
+        # Rank == count crosses in the last occupied bucket's upper bound.
+        assert quantile_from_buckets([1.0, 2.0], [5, 10], 10, 1.0) \
+            == pytest.approx(2.0)
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5):
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+    def test_out_of_range_q_clamps_to_01(self):
+        assert quantile_from_buckets([1.0], [10], 10, -0.5) \
+            == quantile_from_buckets([1.0], [10], 10, 0.0)
+        assert quantile_from_buckets([1.0], [10], 10, 1.5) \
+            == quantile_from_buckets([1.0], [10], 10, 1.0)
+
+    def test_empty_bounds_is_zero(self):
+        assert quantile_from_buckets([], [], 5, 0.5) == 0.0
+
+    def test_zero_count_is_zero_at_any_q(self):
+        for q in (0.0, 0.5, 1.0):
+            assert quantile_from_buckets([1.0, 2.0], [0, 0], 0, q) == 0.0
+
+    def test_all_mass_in_first_bucket(self):
+        # 8 observations all <= 0.5: every quantile interpolates inside
+        # (0, 0.5] and never reaches the later buckets.
+        assert quantile_from_buckets([0.5, 1.0, 2.0], [8, 8, 8], 8, 0.5) \
+            == pytest.approx(0.25)
+        assert quantile_from_buckets([0.5, 1.0, 2.0], [8, 8, 8], 8, 1.0) \
+            == pytest.approx(0.5)
+
+    def test_mass_above_top_finite_bucket_clamps(self):
+        # count=10 but the cumulative buckets only reach 4: ranks beyond
+        # the top finite bucket clamp to its bound instead of
+        # extrapolating into +Inf.
+        assert quantile_from_buckets([0.1, 1.0], [1, 4], 10, 0.99) == 1.0
+        assert quantile_from_buckets([0.1, 1.0], [1, 4], 10, 0.5) == 1.0
+
+    def test_unknown_label_series_is_zero(self):
+        histogram = MetricsRegistry().histogram(
+            "h", labels=("host",), buckets=(1.0,)
+        )
+        histogram.observe(0.5, host="known")
+        assert histogram.quantile(0.5, host="never-observed") == 0.0
+        assert histogram.quantile(1.0, host="never-observed") == 0.0
+
+
 class TestNullRegistry:
     def test_everything_is_a_cheap_noop(self):
         registry = NullRegistry()

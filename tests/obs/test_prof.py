@@ -1,0 +1,268 @@
+"""StageProfiler: phases, memory, determinism, coverage, health wiring."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.suite import STAGE_NAMES
+from repro.core import Study, StudyConfig
+from repro.obs import Telemetry, health_problems
+from repro.obs.prof import (
+    MACHINE_KEYS,
+    NULL_PROFILER,
+    PROFILE_FILENAME,
+    PROFILE_SCHEMA,
+    StageProfiler,
+    deterministic_view,
+    load_profile,
+    profile_stage_coverage,
+)
+from repro.obs.rundir import RunDir
+from repro.util.simtime import SimClock
+
+CONFIG = StudyConfig(
+    seed=515, scale=0.01, iterations=2,
+    telemetry_enabled=True, profile_enabled=True,
+)
+
+
+@pytest.fixture(scope="module")
+def profiled_run():
+    study = Study(CONFIG)
+    result = study.run()
+    return result, study.telemetry
+
+
+class TestStageProfiler:
+    def test_phase_records_sim_and_wall(self):
+        clock = SimClock()
+        profiler = StageProfiler(memory=False, clock=clock)
+        profiler.start()
+        with profiler.phase("crawl"):
+            clock.advance(120.0)
+        profiler.finish()
+        (record,) = profiler.phases
+        assert record.name == "crawl"
+        assert record.sim_seconds == pytest.approx(120.0)
+        assert record.wall_seconds >= 0.0
+
+    def test_stage_phases_carry_prefix_and_kind(self):
+        profiler = StageProfiler(memory=False)
+        with profiler.stage("network"):
+            pass
+        (record,) = profiler.phases
+        assert record.name == "stage.network"
+        assert record.kind == "stage"
+        assert profiler.stage_names() == ["network"]
+        assert profiler.stage_key("network") == "stage.network"
+
+    def test_nested_phases_all_recorded(self):
+        profiler = StageProfiler(memory=False)
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                pass
+        names = [record.name for record in profiler.phases]
+        assert names == ["inner", "outer"]
+
+    def test_memory_tracks_allocations_and_child_peaks(self):
+        profiler = StageProfiler(memory=True, top_allocations=3)
+        profiler.start()
+        keep = []
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                keep.append(bytearray(4_000_000))
+        profiler.finish()
+        inner, outer = profiler.phases
+        assert inner.mem_peak_bytes >= 4_000_000
+        # The child's peak propagates into the enclosing phase.
+        assert outer.mem_peak_bytes >= inner.mem_peak_bytes
+        del keep
+
+    def test_add_counts_and_throughput(self):
+        profiler = StageProfiler(memory=False)
+        with profiler.phase("crawl"):
+            pass
+        profiler.add_counts("crawl", pages=100, records=250)
+        (record,) = profiler.phases
+        assert record.counts == {"pages": 100, "records": 250}
+        exported = record.to_dict()
+        if exported["wall_seconds"] > 0:
+            assert "pages_per_second" in exported["throughput"]
+
+    def test_add_counts_to_unknown_phase_is_a_noop(self):
+        profiler = StageProfiler(memory=False)
+        profiler.add_counts("never-profiled", pages=3)
+        assert profiler.phases == []
+
+    def test_add_client_sorts_hosts(self):
+        class Stats:
+            requests_sent = 7
+            bytes_received = 900
+            by_host = {"b.example": 4, "a.example": 3}
+            bytes_by_host = {"b.example": 500, "a.example": 400}
+
+        profiler = StageProfiler(memory=False)
+        profiler.add_client("crawler", Stats())
+        (client,) = profiler.clients
+        assert client["requests_total"] == 7
+        assert [h["host"] for h in client["hosts"]] == ["a.example", "b.example"]
+        assert client["hosts"][0]["bytes"] == 400
+
+    def test_null_profiler_is_inert(self):
+        with NULL_PROFILER.phase("x"):
+            pass
+        with NULL_PROFILER.stage("y"):
+            pass
+        NULL_PROFILER.add_counts("x", pages=1)
+        assert NULL_PROFILER.enabled is False
+        assert NULL_PROFILER.snapshot() == {}
+        assert NULL_PROFILER.stage_names() == []
+
+    def test_snapshot_totals_do_not_double_count_stage_records(self):
+        profiler = StageProfiler(memory=False)
+        with profiler.phase("analysis"):
+            with profiler.stage("anatomy"):
+                pass
+        profiler.add_counts("analysis", records=10)
+        profiler.add_counts(profiler.stage_key("anatomy"), records=10)
+        snapshot = profiler.snapshot()
+        assert snapshot["totals"]["counts"]["records"] == 10
+
+
+class TestDeterministicView:
+    def test_strips_machine_keys_recursively(self):
+        profile = {
+            "wall_seconds": 1.0,
+            "env": {"python": "3.11"},
+            "phases": [
+                {"name": "a", "wall_seconds": 0.5, "sim_seconds": 2.0,
+                 "throughput": {"pages_per_second": 3.0},
+                 "memory": {"peak_bytes": 10}},
+            ],
+            "totals": {"sim_seconds": 2.0, "memory": {"rss_max_kb": 5}},
+        }
+        view = deterministic_view(profile)
+        assert "wall_seconds" not in view
+        assert "env" not in view
+        assert view["phases"][0] == {"name": "a", "sim_seconds": 2.0}
+        assert view["totals"] == {"sim_seconds": 2.0}
+
+    def test_machine_keys_cover_every_nondeterministic_field(self):
+        assert {"wall_seconds", "throughput", "memory", "env"} <= MACHINE_KEYS
+
+
+class TestProfileCoverage:
+    def test_full_roster_covers(self):
+        profile = {
+            "stages_expected": list(STAGE_NAMES),
+            "phases": [
+                {"name": f"stage.{name}", "kind": "stage"}
+                for name in STAGE_NAMES
+            ],
+        }
+        assert profile_stage_coverage(profile) == []
+
+    def test_missing_stage_reported(self):
+        profile = {
+            "stages_expected": list(STAGE_NAMES),
+            "phases": [
+                {"name": f"stage.{name}", "kind": "stage"}
+                for name in STAGE_NAMES if name != "network"
+            ],
+        }
+        assert profile_stage_coverage(profile) == ["network"]
+
+    def test_unprofiled_file_has_nothing_missing(self):
+        assert profile_stage_coverage({"phases": []}) == []
+
+
+class TestProfiledStudy:
+    def test_profile_covers_phases_and_all_stages(self, profiled_run):
+        _result, telemetry = profiled_run
+        profiler = telemetry.profiler
+        assert profiler.enabled
+        names = [record.name for record in profiler.phases]
+        for phase in ("build_world", "deploy", "iteration_crawl",
+                      "payment_pages", "profile_collection", "status_sweep",
+                      "underground_collection", "contracts",
+                      "analysis_suite", "scorecard"):
+            assert phase in names, phase
+        assert sorted(profiler.stage_names()) == sorted(STAGE_NAMES)
+
+    def test_crawl_phase_has_throughput_counts(self, profiled_run):
+        result, telemetry = profiled_run
+        crawl = next(
+            record for record in telemetry.profiler.phases
+            if record.name == "iteration_crawl"
+        )
+        assert crawl.counts["pages"] > 0
+        assert crawl.counts["records"] == len(result.dataset.listings)
+
+    def test_clients_record_per_host_bytes(self, profiled_run):
+        _result, telemetry = profiled_run
+        clients = {c["client"]: c for c in telemetry.profiler.clients}
+        assert "crawler" in clients
+        assert clients["crawler"]["bytes_total"] > 0
+        assert all(h["requests"] > 0 for h in clients["crawler"]["hosts"])
+
+    def test_export_writes_profile_json(self, profiled_run, tmp_path):
+        _result, telemetry = profiled_run
+        paths = telemetry.export(str(tmp_path))
+        assert os.path.join(str(tmp_path), PROFILE_FILENAME) in paths
+        profile = load_profile(str(tmp_path))
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["stages_expected"] == list(STAGE_NAMES)
+        assert profile_stage_coverage(profile) == []
+
+    def test_twin_runs_identical_once_machine_fields_masked(self, profiled_run):
+        _result, telemetry = profiled_run
+        # The twin runs without tracemalloc: memory is a machine field,
+        # so its deterministic view must match the traced run's exactly.
+        twin = Study(CONFIG, telemetry=Telemetry(
+            profiler=StageProfiler(memory=False, stages_expected=STAGE_NAMES)
+        ))
+        twin.run()
+        view_a = deterministic_view(telemetry.profiler.snapshot())
+        view_b = deterministic_view(twin.telemetry.profiler.snapshot())
+        assert json.dumps(view_a, sort_keys=True) \
+            == json.dumps(view_b, sort_keys=True)
+
+    def test_unprofiled_run_stays_on_null_profiler(self):
+        study = Study(StudyConfig(seed=515, scale=0.01, iterations=1,
+                                  telemetry_enabled=True))
+        assert study.telemetry.profiler is NULL_PROFILER
+
+
+class TestHealthStrictProfile:
+    def _telemetry_dir(self, tmp_path, profile: dict) -> str:
+        run_dir = tmp_path / "telemetry"
+        run_dir.mkdir()
+        (run_dir / "metrics.json").write_text('{"metrics": []}')
+        (run_dir / PROFILE_FILENAME).write_text(json.dumps(profile))
+        return str(run_dir)
+
+    def test_profile_missing_stage_is_a_health_problem(self, tmp_path):
+        doctored = {
+            "schema": PROFILE_SCHEMA,
+            "stages_expected": list(STAGE_NAMES),
+            "phases": [
+                {"name": f"stage.{name}", "kind": "stage"}
+                for name in STAGE_NAMES if name != "efficacy"
+            ],
+        }
+        run = RunDir.load(self._telemetry_dir(tmp_path, doctored))
+        problems = health_problems(run)
+        assert any("efficacy" in problem for problem in problems)
+
+    def test_complete_profile_is_healthy(self, tmp_path):
+        profile = {
+            "schema": PROFILE_SCHEMA,
+            "stages_expected": list(STAGE_NAMES),
+            "phases": [
+                {"name": f"stage.{name}", "kind": "stage"}
+                for name in STAGE_NAMES
+            ],
+        }
+        run = RunDir.load(self._telemetry_dir(tmp_path, profile))
+        assert health_problems(run) == []
