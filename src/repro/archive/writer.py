@@ -43,10 +43,10 @@ from typing import Dict, List, Optional, Set, TextIO, Tuple
 
 from repro.archive.blobstore import BlobStore
 from repro.archive.records import ROLE_EXCHANGE, ROLE_OUTCOME, ArchiveError
+from repro.obs.schemas import ARCHIVE_SCHEMA
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 ARCHIVE_MANIFEST = "archive.json"
-ARCHIVE_SCHEMA = "repro.crawl-archive/v2"
 INDEX_DIRNAME = "index"
 BLOBS_DIRNAME = "blobs"
 POST_COLLECTION_PHASE = "post_collection"

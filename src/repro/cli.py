@@ -14,6 +14,8 @@ Commands
 ``trace``
     Summarize a telemetry directory (``--telemetry-out``): per-stage
     sim/wall durations, events by kind, per-marketplace crawl errors.
+    ``--json`` emits the same summary as a stable, schema-versioned
+    JSON document (the path scripts and the run registry share).
 ``diff``
     Compare two telemetry directories and exit nonzero on regressions
     (scorecard drops, new error kinds, coverage losses, sim slowdowns).
@@ -34,6 +36,13 @@ Commands
     Re-hash every index and blob in an archive; exit 2 on corruption.
 ``archive diff``
     Per-marketplace offer-page churn between two archived iterations.
+``runs ingest|list|show|trends|alerts``
+    The cross-run registry: fold completed telemetry directories into an
+    append-only SQLite store (idempotent per run), list them, render
+    per-metric trend series with median/MAD baselines (``--html`` writes
+    the fleet dashboard), and evaluate the deterministic anomaly rules —
+    ``alerts`` exits 1 when any rule fires, writing ``alerts.json`` with
+    ``--out``.
 
 Telemetry-reading commands (``trace``/``diff``/``health``) exit with
 code 2 when a directory is missing, empty, or corrupt; so do ``replay``
@@ -69,20 +78,30 @@ from repro.marketplaces.channels import CHANNELS
 from repro.obs import (
     BENCH_FILENAME,
     NULL_TELEMETRY,
+    AlertConfig,
     BenchError,
     DiffConfig,
+    RegistryError,
     RunDir,
+    RunRegistry,
     Telemetry,
     TelemetryDirError,
     build_manifest,
     compare_bench,
+    compute_trends,
     configure_logging,
     diff_runs,
+    evaluate_alerts,
     health_problems,
     load_baseline,
+    render_fleet_html,
     render_health_html,
     render_trace_summary,
+    render_trends_text,
     run_bench,
+    trace_document,
+    trends_document,
+    write_alerts,
     write_bench,
     write_manifest,
     write_scorecard,
@@ -336,7 +355,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     except TelemetryDirError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    print(render_trace_summary(run))
+    if getattr(args, "json", False):
+        print(json.dumps(trace_document(run), indent=2, sort_keys=True))
+    else:
+        print(render_trace_summary(run))
     return 0
 
 
@@ -514,6 +536,119 @@ def cmd_archive_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_runs_ingest(args: argparse.Namespace) -> int:
+    if args.run_id and len(args.run_dirs) > 1:
+        print("--run-id only applies to a single run directory",
+              file=sys.stderr)
+        return 2
+    try:
+        with RunRegistry.open(args.registry) as registry:
+            for run_dir in args.run_dirs:
+                result = registry.ingest(run_dir, run_id=args.run_id)
+                if result.inserted:
+                    print(
+                        f"ingested {run_dir} as {result.run_id} "
+                        f"(seq {result.seq}, config {result.config_hash}, "
+                        f"{result.n_metrics} metrics)"
+                    )
+                else:
+                    print(
+                        f"skipped {run_dir}: already ingested as "
+                        f"{result.run_id} (seq {result.seq})"
+                    )
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    try:
+        with RunRegistry.open_existing(args.registry) as registry:
+            rows = registry.runs(last_n=args.last)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not rows:
+        print("no runs registered")
+        return 0
+    for run in rows:
+        scorecard = (
+            "-" if run.scorecard_passed is None
+            else "PASS" if run.scorecard_passed else "FAIL"
+        )
+        print(
+            f"{run.seq:>4}  {run.run_id}  seed={run.seed}  "
+            f"config={run.config_hash}  chaos={run.chaos or 'off'}  "
+            f"scorecard={scorecard}  ingested={run.ingested_at}"
+        )
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    try:
+        with RunRegistry.open_existing(args.registry) as registry:
+            run = registry.run(args.run_id)
+            document = registry.document(args.run_id)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if run is None or document is None:
+        print(f"no run {args.run_id} in {args.registry}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for key, value in run.to_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def cmd_runs_trends(args: argparse.Namespace) -> int:
+    try:
+        with RunRegistry.open_existing(args.registry) as registry:
+            series_list = compute_trends(
+                registry, names=args.metric or None, last_n=args.last,
+            )
+            runs = registry.runs(last_n=args.last)
+            report = evaluate_alerts(registry, AlertConfig(last_n=args.last))
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_fleet_html(
+                runs, series_list, report, registry_path=args.registry,
+            ))
+        print(f"wrote {args.html}")
+        return 0
+    if args.json:
+        print(json.dumps(trends_document(series_list, runs),
+                         indent=2, sort_keys=True))
+        return 0
+    print(render_trends_text(series_list))
+    return 0
+
+
+def cmd_runs_alerts(args: argparse.Namespace) -> int:
+    config = AlertConfig(
+        k_mad=args.k_mad,
+        fidelity_tolerance=args.fidelity_tolerance,
+        include_wall=args.wall,
+        last_n=args.last,
+    )
+    try:
+        with RunRegistry.open_existing(args.registry) as registry:
+            report = evaluate_alerts(registry, config)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render_text())
+    if args.out:
+        print(f"wrote {write_alerts(args.out, report)}", file=sys.stderr)
+    return 1 if report.fired else 0
+
+
 def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05,
                         help="world scale; 1.0 = the paper's 38K listings")
@@ -588,7 +723,90 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="summarize a run's telemetry (stages, events, errors)"
     )
     trace_parser.add_argument("run_dir", help="directory written by --telemetry-out")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="emit the summary as a stable JSON "
+                                   "document (repro.trace-summary/v1) "
+                                   "instead of text")
     trace_parser.set_defaults(handler=cmd_trace)
+
+    runs_parser = commands.add_parser(
+        "runs",
+        help="cross-run registry: ingest telemetry dirs, list runs, "
+             "trend metrics, evaluate anomaly alerts",
+    )
+    runs_commands = runs_parser.add_subparsers(dest="runs_command",
+                                               required=True)
+
+    def _registry_arg(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--registry", required=True, metavar="PATH",
+                         help="the SQLite run-registry file")
+
+    ingest_parser = runs_commands.add_parser(
+        "ingest", help="fold completed telemetry directories into the "
+                       "registry (idempotent per run)",
+    )
+    ingest_parser.add_argument("run_dirs", nargs="+", metavar="RUN_DIR",
+                               help="directories written by --telemetry-out")
+    _registry_arg(ingest_parser)
+    ingest_parser.add_argument("--run-id", default=None,
+                               help="override the content-derived run id "
+                                    "(single directory only)")
+    ingest_parser.set_defaults(handler=cmd_runs_ingest)
+
+    list_parser = runs_commands.add_parser(
+        "list", help="registered runs in ingestion order"
+    )
+    _registry_arg(list_parser)
+    list_parser.add_argument("--last", type=int, default=None, metavar="N",
+                             help="only the last N runs")
+    list_parser.set_defaults(handler=cmd_runs_list)
+
+    show_parser = runs_commands.add_parser(
+        "show", help="one registered run's row (or full stored document)"
+    )
+    show_parser.add_argument("run_id")
+    _registry_arg(show_parser)
+    show_parser.add_argument("--json", action="store_true",
+                             help="print the stored trace document")
+    show_parser.set_defaults(handler=cmd_runs_show)
+
+    trends_parser = runs_commands.add_parser(
+        "trends", help="per-metric trend series with median/MAD baselines"
+    )
+    _registry_arg(trends_parser)
+    trends_parser.add_argument("--metric", action="append", metavar="NAME",
+                               help="restrict to this metric (repeatable)")
+    trends_parser.add_argument("--last", type=int, default=None, metavar="N",
+                               help="trend over only the last N runs")
+    trends_parser.add_argument("--json", action="store_true",
+                               help="emit repro.trend-series/v1 JSON")
+    trends_parser.add_argument("--html", default=None, metavar="PATH",
+                               help="write the fleet dashboard HTML here "
+                                    "instead of printing the table")
+    trends_parser.set_defaults(handler=cmd_runs_trends)
+
+    alerts_parser = runs_commands.add_parser(
+        "alerts",
+        help="judge the latest run against the fleet baseline; exit 1 "
+             "when any deterministic anomaly rule fires",
+    )
+    _registry_arg(alerts_parser)
+    alerts_parser.add_argument("--k-mad", type=float, default=4.0,
+                               help="MAD multiplier for baseline-relative "
+                                    "rules")
+    alerts_parser.add_argument("--fidelity-tolerance", type=float,
+                               default=0.02,
+                               help="absolute fidelity drop tolerated "
+                                    "before alarming")
+    alerts_parser.add_argument("--wall", action="store_true",
+                               help="also apply the stage-time rule to "
+                                    "(machine-noisy) wall clock")
+    alerts_parser.add_argument("--last", type=int, default=None, metavar="N",
+                               help="baseline over only the last N runs")
+    alerts_parser.add_argument("--out", default=None, metavar="PATH",
+                               help="also write machine-readable "
+                                    "alerts.json here (file or directory)")
+    alerts_parser.set_defaults(handler=cmd_runs_alerts)
 
     diff_parser = commands.add_parser(
         "diff", help="compare two telemetry dirs; exit 1 on regressions"

@@ -23,8 +23,25 @@ package makes it inspectable end to end:
 * :mod:`repro.obs.prof` — the ``--profile`` performance profiler
   (per-phase/per-stage wall, sim, memory, throughput → profile.json);
 * :mod:`repro.obs.bench` — the ``repro bench`` harness behind the
-  committed ``BENCH_pipeline.json`` perf baseline.
+  committed ``BENCH_pipeline.json`` perf baseline;
+* :mod:`repro.obs.schemas` — the single registry of schema ids every
+  emitted JSON artifact carries;
+* :mod:`repro.obs.registry` — the cross-run SQLite run registry behind
+  ``repro runs ingest/list/show``;
+* :mod:`repro.obs.trends` — per-metric trend series with median/MAD
+  baselines across registered runs;
+* :mod:`repro.obs.alerts` — deterministic anomaly rules over the
+  registry (``repro runs alerts`` → ``alerts.json``, exit 1 on fire).
 """
+
+from repro.obs.alerts import (
+    ALERTS_FILENAME,
+    Alert,
+    AlertConfig,
+    AlertReport,
+    evaluate_alerts,
+    write_alerts,
+)
 
 from repro.obs.bench import (
     BENCH_FILENAME,
@@ -72,13 +89,46 @@ from repro.obs.prof import (
     load_profile,
     profile_stage_coverage,
 )
+from repro.obs.registry import (
+    IngestResult,
+    REGISTRY_FILENAME,
+    RegistryError,
+    RunRegistry,
+    RunRow,
+    metrics_from_document,
+)
 from repro.obs.report_html import (
+    FLEET_FILENAME,
     health_problems,
     health_status,
+    render_fleet_html,
     render_health_html,
 )
 from repro.obs.rundir import RunDir, TelemetryDirError
-from repro.obs.summary import render_trace_summary
+from repro.obs.schemas import (
+    ALERTS_SCHEMA,
+    ARTIFACT_SCHEMAS,
+    KNOWN_SCHEMAS,
+    MANIFEST_SCHEMA,
+    METRICS_SCHEMA,
+    REGISTRY_SCHEMA,
+    SCORECARD_SCHEMA,
+    SchemaError,
+    TRACE_DOC_SCHEMA,
+    TRENDS_SCHEMA,
+    check_artifact,
+    check_schema,
+    config_hash,
+)
+from repro.obs.summary import render_trace_summary, trace_document
+from repro.obs.trends import (
+    TrendPoint,
+    TrendSeries,
+    compute_trends,
+    render_trends_text,
+    sparkline,
+    trends_document,
+)
 from repro.obs.telemetry import (
     EVENTS_FILENAME,
     METRICS_FILENAME,
@@ -91,8 +141,42 @@ from repro.obs.trace import NullTracer, SpanRecord, SpanTracer, stage_summary
 from repro.obs.watchdog import CrawlWatchdog, Finding, WatchdogConfig
 
 __all__ = [
+    "ALERTS_FILENAME",
+    "ALERTS_SCHEMA",
+    "ARTIFACT_SCHEMAS",
+    "Alert",
+    "AlertConfig",
+    "AlertReport",
     "BENCH_FILENAME",
     "BENCH_SCHEMA",
+    "FLEET_FILENAME",
+    "IngestResult",
+    "KNOWN_SCHEMAS",
+    "MANIFEST_SCHEMA",
+    "METRICS_SCHEMA",
+    "REGISTRY_FILENAME",
+    "REGISTRY_SCHEMA",
+    "RegistryError",
+    "RunRegistry",
+    "RunRow",
+    "SCORECARD_SCHEMA",
+    "SchemaError",
+    "TRACE_DOC_SCHEMA",
+    "TRENDS_SCHEMA",
+    "TrendPoint",
+    "TrendSeries",
+    "check_artifact",
+    "check_schema",
+    "compute_trends",
+    "config_hash",
+    "evaluate_alerts",
+    "metrics_from_document",
+    "render_fleet_html",
+    "render_trends_text",
+    "sparkline",
+    "trace_document",
+    "trends_document",
+    "write_alerts",
     "BenchComparison",
     "BenchError",
     "Counter",

@@ -1,0 +1,377 @@
+"""Deterministic anomaly alerting over the run registry.
+
+``repro runs alerts`` judges the **latest** registered run against the
+robust baseline (median/MAD, :mod:`repro.obs.trends`) of every run
+before it, applying fixed rules:
+
+``fidelity_band``
+    A scorecard metric of the latest run is outside its own calibration
+    band (the band ships inside ``scorecard.json``) — critical.
+``fidelity_drop``
+    A fidelity score fell below the baseline median by more than
+    ``max(k·MAD, fidelity_tolerance)`` — warning.
+``stage_time``
+    A stage's **simulated** duration exceeds baseline median +
+    ``max(k·MAD, rel_floor·median, abs_floor)`` — warning.  Wall-clock
+    stage times are machine noise and only checked with
+    ``include_wall=True``.
+``error_rate_spike``
+    The crawl error rate rose above baseline median +
+    ``max(k·MAD, error_rate_tolerance)`` — critical.
+``quarantine_spike``
+    More records were quarantined than baseline median +
+    ``max(k·MAD, quarantine_floor)`` — warning.
+``coverage_drop``
+    Crawl page coverage, contract record coverage, or the number of
+    traced stages fell below its baseline — critical.
+
+Every threshold is computed from values stored in the registry — no
+wall clock, no randomness — so the same registry contents always
+produce the same ``alerts.json``.  N same-seed runs of the same code
+have zero-variance deterministic series and **must never alarm**; the
+strict inequalities above guarantee that (latest == median fires
+nothing), which CI enforces with its twin-run registry gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs.schemas import ALERTS_SCHEMA
+from repro.obs.trends import TrendSeries, compute_trends
+
+ALERTS_FILENAME = "alerts.json"
+
+_LEVELS = {"warning": "warning", "critical": "error"}
+
+
+@dataclass(frozen=True)
+class AlertConfig:
+    """Thresholds for the deterministic rules; every field has a floor
+    so zero-variance histories (MAD = 0) need a real move to alarm."""
+
+    #: MAD multiplier for all baseline-relative rules.
+    k_mad: float = 4.0
+    #: Absolute drop a fidelity score may take before alarming.
+    fidelity_tolerance: float = 0.02
+    #: Relative growth a stage's sim time may take before alarming.
+    stage_time_rel_floor: float = 0.25
+    #: Absolute sim-seconds growth always tolerated.
+    stage_time_abs_floor: float = 60.0
+    #: Absolute error-rate rise always tolerated.
+    error_rate_tolerance: float = 0.01
+    #: Extra quarantined records always tolerated.
+    quarantine_floor: float = 5.0
+    #: Relative drop in crawl pages before coverage alarms.
+    coverage_tolerance: float = 0.05
+    #: Also apply the stage-time rule to wall clock (machine-noisy).
+    include_wall: bool = False
+    #: Judge against only the last N registered runs (None = all).
+    last_n: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "k_mad": self.k_mad,
+            "fidelity_tolerance": self.fidelity_tolerance,
+            "stage_time_rel_floor": self.stage_time_rel_floor,
+            "stage_time_abs_floor": self.stage_time_abs_floor,
+            "error_rate_tolerance": self.error_rate_tolerance,
+            "quarantine_floor": self.quarantine_floor,
+            "coverage_tolerance": self.coverage_tolerance,
+            "include_wall": self.include_wall,
+            "last_n": self.last_n,
+        }
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired rule: the metric, the observed value, and the
+    threshold it crossed."""
+
+    rule: str
+    metric: str
+    run_id: str
+    value: float
+    baseline: float
+    threshold: float
+    severity: str  # "warning" | "critical"
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "run_id": self.run_id,
+            "value": round(self.value, 9),
+            "baseline": round(self.baseline, 9),
+            "threshold": round(self.threshold, 9),
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AlertReport:
+    """Every alert of one evaluation plus the context it ran in."""
+
+    run_id: str
+    runs_considered: int
+    config: AlertConfig
+    alerts: List[Alert] = field(default_factory=list)
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.alerts)
+
+    def counts(self) -> dict:
+        counts = {}
+        for alert in self.alerts:
+            counts[alert.severity] = counts.get(alert.severity, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": ALERTS_SCHEMA,
+            "run_id": self.run_id,
+            "runs_considered": self.runs_considered,
+            "fired": self.fired,
+            "counts": self.counts(),
+            "config": self.config.to_dict(),
+            "alerts": [
+                alert.to_dict()
+                for alert in sorted(
+                    self.alerts,
+                    key=lambda a: (a.severity != "critical", a.rule, a.metric),
+                )
+            ],
+        }
+
+    def render_text(self) -> str:
+        if not self.alerts:
+            return (
+                f"no alerts: latest run {self.run_id} is within baseline "
+                f"({self.runs_considered} run(s) considered)"
+            )
+        lines = [
+            f"{len(self.alerts)} alert(s) on run {self.run_id} "
+            f"({self.runs_considered} run(s) considered):"
+        ]
+        for alert in sorted(
+            self.alerts,
+            key=lambda a: (a.severity != "critical", a.rule, a.metric),
+        ):
+            lines.append(
+                f"  [{alert.severity}] {alert.rule} {alert.metric}: "
+                f"{alert.message}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_alerts(registry, config: Optional[AlertConfig] = None,
+                    events=None) -> AlertReport:
+    """Apply every rule to the latest run in ``registry``.
+
+    ``events`` may be an :class:`~repro.obs.events.EventLog` (or the
+    telemetry facade's event sink); each fired alert is also emitted as
+    a structured ``alert.<rule>`` event.
+    """
+    config = config or AlertConfig()
+    runs = registry.runs(last_n=config.last_n)
+    if not runs:
+        return AlertReport(run_id="", runs_considered=0, config=config)
+    latest = runs[-1]
+    report = AlertReport(
+        run_id=latest.run_id, runs_considered=len(runs), config=config,
+    )
+    trends = {
+        series.name: series
+        for series in compute_trends(registry, last_n=config.last_n)
+    }
+
+    _check_fidelity_band(registry, latest, report)
+    for name, series in sorted(trends.items()):
+        if series.n < 2 or series.points[-1].seq != latest.seq:
+            # The latest run did not report this metric (e.g. a run
+            # without --profile); there is nothing to judge.
+            continue
+        if name.startswith("fidelity.") and not name.endswith(
+                (".passed", ".n_failed")):
+            _check_fidelity_drop(series, config, report)
+        elif name.startswith("stage_sim_seconds."):
+            _check_stage_time(series, config, report, clock="sim")
+        elif name.startswith("stage_wall_seconds.") and config.include_wall:
+            _check_stage_time(series, config, report, clock="wall")
+        elif name == "crawl.error_rate":
+            _check_error_rate(series, config, report)
+        elif name == "contracts.quarantine_total":
+            _check_quarantine(series, config, report)
+        elif name in ("crawl.pages_total", "contracts.coverage",
+                      "trace.stages_total"):
+            _check_coverage(series, config, report)
+
+    if events is not None:
+        for alert in report.alerts:
+            events.emit(
+                f"alert.{alert.rule}",
+                level=_LEVELS.get(alert.severity, "warning"),
+                metric=alert.metric,
+                run_id=alert.run_id,
+                value=round(alert.value, 9),
+                threshold=round(alert.threshold, 9),
+                message=alert.message,
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# individual rules
+# ---------------------------------------------------------------------------
+
+def _check_fidelity_band(registry, latest, report: AlertReport) -> None:
+    """Scorecard entries of the latest run outside their own band."""
+    document = registry.document(latest.run_id) or {}
+    scorecard = document.get("scorecard")
+    if not scorecard:
+        return
+    for entry in scorecard.get("entries") or []:
+        if entry.get("passed", True):
+            continue
+        value = float(entry.get("value", 0.0))
+        low = float(entry.get("low", 0.0))
+        high = float(entry.get("high", 1.0))
+        report.alerts.append(Alert(
+            rule="fidelity_band",
+            metric=f"fidelity.{entry.get('name')}",
+            run_id=latest.run_id,
+            value=value,
+            baseline=low,
+            threshold=low if value < low else high,
+            severity="critical",
+            message=(
+                f"{entry.get('name')}={value:g} outside calibration band "
+                f"[{low:g}, {high:g}]"
+            ),
+        ))
+
+
+def _check_fidelity_drop(series: TrendSeries, config: AlertConfig,
+                         report: AlertReport) -> None:
+    baseline = series.baseline_median()
+    slack = max(config.k_mad * series.baseline_mad(),
+                config.fidelity_tolerance)
+    threshold = baseline - slack
+    if series.latest < threshold:
+        report.alerts.append(Alert(
+            rule="fidelity_drop", metric=series.name,
+            run_id=series.points[-1].run_id,
+            value=series.latest, baseline=baseline, threshold=threshold,
+            severity="warning",
+            message=(
+                f"dropped to {series.latest:g} from baseline median "
+                f"{baseline:g} (tolerance {slack:g})"
+            ),
+        ))
+
+
+def _check_stage_time(series: TrendSeries, config: AlertConfig,
+                      report: AlertReport, clock: str) -> None:
+    baseline = series.baseline_median()
+    slack = max(
+        config.k_mad * series.baseline_mad(),
+        config.stage_time_rel_floor * baseline,
+        config.stage_time_abs_floor if clock == "sim" else 0.05,
+    )
+    threshold = baseline + slack
+    if series.latest > threshold:
+        report.alerts.append(Alert(
+            rule="stage_time", metric=series.name,
+            run_id=series.points[-1].run_id,
+            value=series.latest, baseline=baseline, threshold=threshold,
+            severity="warning",
+            message=(
+                f"{clock} time {series.latest:g}s exceeds baseline median "
+                f"{baseline:g}s + {slack:g}s"
+            ),
+        ))
+
+
+def _check_error_rate(series: TrendSeries, config: AlertConfig,
+                      report: AlertReport) -> None:
+    baseline = series.baseline_median()
+    slack = max(config.k_mad * series.baseline_mad(),
+                config.error_rate_tolerance)
+    threshold = baseline + slack
+    if series.latest > threshold:
+        report.alerts.append(Alert(
+            rule="error_rate_spike", metric=series.name,
+            run_id=series.points[-1].run_id,
+            value=series.latest, baseline=baseline, threshold=threshold,
+            severity="critical",
+            message=(
+                f"error rate {series.latest:g} exceeds baseline median "
+                f"{baseline:g} + {slack:g}"
+            ),
+        ))
+
+
+def _check_quarantine(series: TrendSeries, config: AlertConfig,
+                      report: AlertReport) -> None:
+    baseline = series.baseline_median()
+    slack = max(config.k_mad * series.baseline_mad(),
+                config.quarantine_floor)
+    threshold = baseline + slack
+    if series.latest > threshold:
+        report.alerts.append(Alert(
+            rule="quarantine_spike", metric=series.name,
+            run_id=series.points[-1].run_id,
+            value=series.latest, baseline=baseline, threshold=threshold,
+            severity="warning",
+            message=(
+                f"{series.latest:g} quarantined records exceed baseline "
+                f"median {baseline:g} + {slack:g}"
+            ),
+        ))
+
+
+def _check_coverage(series: TrendSeries, config: AlertConfig,
+                    report: AlertReport) -> None:
+    baseline = series.baseline_median()
+    threshold = baseline * (1.0 - config.coverage_tolerance)
+    if series.latest < threshold:
+        report.alerts.append(Alert(
+            rule="coverage_drop", metric=series.name,
+            run_id=series.points[-1].run_id,
+            value=series.latest, baseline=baseline, threshold=threshold,
+            severity="critical",
+            message=(
+                f"coverage {series.latest:g} fell below "
+                f"{threshold:g} ({100 * config.coverage_tolerance:g}% under "
+                f"baseline median {baseline:g})"
+            ),
+        ))
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+def write_alerts(path: str, report: AlertReport) -> str:
+    """Write ``alerts.json``; ``path`` may be a directory or a file."""
+    if os.path.isdir(path):
+        path = os.path.join(path, ALERTS_FILENAME)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+    return path
+
+
+__all__ = [
+    "ALERTS_FILENAME",
+    "Alert",
+    "AlertConfig",
+    "AlertReport",
+    "evaluate_alerts",
+    "write_alerts",
+]

@@ -35,9 +35,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.obs.manifest import git_describe
 from repro.obs.prof import StageProfiler
+from repro.obs.schemas import BENCH_SCHEMA
 
 BENCH_FILENAME = "BENCH_pipeline.json"
-BENCH_SCHEMA = "repro.bench-pipeline/v1"
 
 #: Default timing rounds; overridable via ``REPRO_BENCH_ROUNDS`` or
 #: ``repro bench --rounds``.

@@ -21,8 +21,9 @@ import subprocess
 import sys
 from typing import List, Optional
 
+from repro.obs.schemas import MANIFEST_SCHEMA, config_hash
+
 MANIFEST_FILENAME = "manifest.json"
-MANIFEST_SCHEMA = "repro.run-manifest/v1"
 
 
 def git_describe(cwd: Optional[str] = None) -> Optional[str]:
@@ -89,6 +90,7 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
         "python": sys.version.split()[0],
         "git": git_describe(),
         "config": config_dict,
+        "config_hash": config_hash(config_dict),
         "seed": config_dict.get("seed"),
         "simulated_seconds": getattr(result, "simulated_seconds", 0.0),
         "dataset": result.dataset.summary() if getattr(result, "dataset", None) else {},

@@ -15,6 +15,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.schemas import METRICS_SCHEMA
+
 _DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
     30.0, 60.0, 120.0, 300.0,
@@ -272,9 +274,10 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """JSON-serializable dump of every metric, sorted by name."""
         return {
+            "schema": METRICS_SCHEMA,
             "metrics": [
                 self._metrics[name].to_dict() for name in sorted(self._metrics)
-            ]
+            ],
         }
 
     def write_json(self, path: str) -> None:

@@ -43,10 +43,10 @@ try:  # POSIX only; absent on some platforms.
 except ImportError:  # pragma: no cover - non-POSIX fallback
     resource = None
 
+from repro.obs.schemas import PROFILE_SCHEMA
 from repro.util.simtime import SimClock
 
 PROFILE_FILENAME = "profile.json"
-PROFILE_SCHEMA = "repro.profile/v1"
 
 #: Top-level and per-phase keys that vary run-to-run on the same seed
 #: (wall clock, allocator state, host environment).  Everything else in

@@ -31,8 +31,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.obs.schemas import SCORECARD_SCHEMA
+
 SCORECARD_FILENAME = "scorecard.json"
-SCORECARD_SCHEMA = "repro.scorecard/v1"
 
 #: Acceptance bands per score (low, high), inclusive.  Ground-truth
 #: precision/recall scores cap at 1.0; calibration scores are measured

@@ -299,6 +299,124 @@ def render_health_html(run: RunDir) -> str:
     )
 
 
+# ---------------------------------------------------------------------------
+# fleet view (cross-run registry)
+# ---------------------------------------------------------------------------
+
+FLEET_FILENAME = "fleet.html"
+
+
+def _fleet_runs_section(runs) -> str:
+    if not runs:
+        return "<h2>Runs</h2><p>no runs registered</p>"
+    rows = []
+    for run in runs:
+        passed = run.scorecard_passed
+        status = (
+            '<span class="muted">—</span>' if passed is None
+            else '<span class="ok">PASS</span>' if passed
+            else '<span class="fail">FAIL</span>'
+        )
+        rows.append([
+            str(run.seq),
+            html.escape(run.run_id),
+            html.escape(str(run.seed)),
+            html.escape(run.config_hash),
+            html.escape(run.chaos or "off"),
+            html.escape(run.git or ""),
+            status,
+            html.escape(run.ingested_at),
+        ])
+    return "<h2>Runs (ingestion order)</h2>" + _table(
+        ["seq", "run id", "seed", "config", "chaos", "git",
+         "scorecard", "ingested at"],
+        rows, numeric=(0,),
+    )
+
+
+def _fleet_trend_section(title: str, series_list) -> str:
+    if not series_list:
+        return ""
+    from repro.obs.trends import mad, median, sparkline
+
+    rows = []
+    for series in series_list:
+        values = series.values
+        rows.append([
+            html.escape(series.name),
+            str(series.n),
+            f"{min(values):g}",
+            f"{median(values):g}",
+            f"{mad(values):g}",
+            f"{series.latest:g}",
+            f"{series.delta:+g}",
+            f'<span class="spark">{html.escape(sparkline(values))}</span>',
+        ])
+    return f"<h2>{html.escape(title)}</h2>" + _table(
+        ["metric", "n", "min", "median", "mad", "latest", "delta", "trend"],
+        rows, numeric=(1, 2, 3, 4, 5, 6),
+    )
+
+
+def _fleet_alerts_section(report) -> str:
+    if report is None:
+        return ""
+    if not report.fired:
+        return (
+            "<h2>Alerts</h2><p class=\"ok\">no alerts — latest run "
+            f"{html.escape(report.run_id)} is within baseline "
+            f"({report.runs_considered} run(s) considered)</p>"
+        )
+    rows = [
+        [
+            f'<span class="{html.escape(alert.severity)}">'
+            f"{html.escape(alert.severity)}</span>",
+            html.escape(alert.rule),
+            html.escape(alert.metric),
+            f"{alert.value:g}",
+            f"{alert.threshold:g}",
+            html.escape(alert.message),
+        ]
+        for alert in report.alerts
+    ]
+    return (
+        f"<h2>Alerts ({len(report.alerts)} fired on "
+        f"{html.escape(report.run_id)})</h2>"
+        + _table(["severity", "rule", "metric", "value", "threshold",
+                  "message"], rows, numeric=(3, 4))
+    )
+
+
+def render_fleet_html(runs, series_list, alert_report=None,
+                      registry_path: str = "") -> str:
+    """The cross-run dashboard: the run roster, sparkline trend tables
+    over the registry's metric series (deterministic series first,
+    machine-dependent wall/memory series separately), and the latest
+    alert evaluation.  Self-contained like the single-run page."""
+    deterministic = [s for s in series_list if not s.machine_dependent]
+    machine = [s for s in series_list if s.machine_dependent]
+    title = "Fleet view"
+    if registry_path:
+        title += f": {html.escape(registry_path)}"
+    sections = [
+        f"<h1>{title}</h1>",
+        f'<p class="muted">{len(runs)} run(s), '
+        f"{len(series_list)} metric series</p>",
+        _fleet_alerts_section(alert_report),
+        _fleet_runs_section(runs),
+        _fleet_trend_section("Trends (deterministic metrics)", deterministic),
+        _fleet_trend_section(
+            "Trends (machine-dependent: wall clock, memory)", machine),
+    ]
+    body = "\n".join(section for section in sections if section)
+    css = _CSS + ".spark { font-family: monospace; letter-spacing: 1px; }"
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>repro fleet</title><style>{css}</style></head>"
+        f"<body>\n{body}\n</body></html>\n"
+    )
+
+
 def health_problems(run: RunDir) -> List[str]:
     """Every reason the run counts as unhealthy, one line each.
 
@@ -337,8 +455,10 @@ def health_status(run: RunDir) -> bool:
 
 
 __all__ = [
+    "FLEET_FILENAME",
     "REPORT_FILENAME",
     "health_problems",
     "health_status",
+    "render_fleet_html",
     "render_health_html",
 ]

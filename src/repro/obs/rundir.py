@@ -11,11 +11,13 @@ line — when the directory is unusable, so every CLI entry point can
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs.schemas as schemas
 from repro.obs.events import Event, EventLog
 from repro.obs.manifest import MANIFEST_FILENAME
 from repro.obs.prof import PROFILE_FILENAME
@@ -157,6 +159,49 @@ class RunDir:
         if self.manifest:
             return self.manifest.get("watchdog")
         return None
+
+    def config(self) -> dict:
+        """The run's StudyConfig dict (empty when no manifest)."""
+        return dict((self.manifest or {}).get("config") or {})
+
+    def config_hash(self) -> str:
+        """The manifest's recorded config hash; recomputed from the
+        config dict for manifests that predate the field."""
+        recorded = (self.manifest or {}).get("config_hash")
+        if isinstance(recorded, str) and recorded:
+            return recorded
+        return schemas.config_hash(self.config())
+
+    def contracts_summary(self) -> Optional[dict]:
+        if self.manifest:
+            return self.manifest.get("contracts")
+        return None
+
+    def archive_summary(self) -> Optional[dict]:
+        if self.manifest:
+            return self.manifest.get("archive")
+        return None
+
+    def content_digest(self) -> str:
+        """A short digest over the raw bytes of every telemetry artifact
+        present in the directory.
+
+        Same files → same digest, so re-ingesting an unchanged directory
+        is recognized; two same-seed twin runs still differ (their
+        manifests record distinct wall-clock stage timings), so both
+        land in the registry as separate runs.
+        """
+        digest = hashlib.sha256()
+        for name in TELEMETRY_FILES:
+            file_path = os.path.join(self.path, name)
+            if not os.path.exists(file_path):
+                continue
+            digest.update(name.encode("utf-8") + b"\x00")
+            with open(file_path, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 16), b""):
+                    digest.update(chunk)
+            digest.update(b"\x00")
+        return digest.hexdigest()[:16]
 
     def label(self) -> str:
         """A short human name for this run (config digest or path)."""

@@ -1,0 +1,152 @@
+"""The single registry of schema identifiers for emitted JSON artifacts.
+
+Every JSON document the pipeline writes — the run manifest, the fidelity
+scorecard, the performance profile, the bench baseline, the sealed
+archive manifest, the machine-readable trace summary, and the cross-run
+registry/trends/alerts documents — carries a ``"schema"`` key naming its
+format and version (``repro.<artifact>/v<N>``).  Before this module the
+id strings were scattered across their emitters; now each emitter
+imports its constant from here, and consumers (the run registry, the
+bench comparator, the archive reader) validate against the same source
+of truth.
+
+This module has **no** ``repro`` imports so any layer — including
+:mod:`repro.archive` — can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+# -- artifact schema ids ----------------------------------------------------
+
+#: ``manifest.json`` — the per-run manifest (:mod:`repro.obs.manifest`).
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+#: ``metrics.json`` — the metric snapshot (:mod:`repro.obs.metrics`).
+METRICS_SCHEMA = "repro.metrics/v1"
+#: ``scorecard.json`` — the fidelity scorecard (:mod:`repro.obs.quality`).
+SCORECARD_SCHEMA = "repro.scorecard/v1"
+#: ``profile.json`` — the performance profile (:mod:`repro.obs.prof`).
+PROFILE_SCHEMA = "repro.profile/v1"
+#: ``BENCH_pipeline.json`` — the perf baseline (:mod:`repro.obs.bench`).
+BENCH_SCHEMA = "repro.bench-pipeline/v1"
+#: ``archive.json`` — the sealed crawl archive (:mod:`repro.archive`).
+ARCHIVE_SCHEMA = "repro.crawl-archive/v2"
+#: ``repro trace --json`` — the machine-readable run summary
+#: (:func:`repro.obs.summary.trace_document`).
+TRACE_DOC_SCHEMA = "repro.trace-summary/v1"
+#: The SQLite run registry's ``meta`` table (:mod:`repro.obs.registry`).
+REGISTRY_SCHEMA = "repro.run-registry/v1"
+#: ``repro runs trends --json`` (:mod:`repro.obs.trends`).
+TRENDS_SCHEMA = "repro.trend-series/v1"
+#: ``alerts.json`` — deterministic anomaly alerts (:mod:`repro.obs.alerts`).
+ALERTS_SCHEMA = "repro.alerts/v1"
+
+#: Every schema id this codebase knows how to read or write.
+KNOWN_SCHEMAS = frozenset({
+    MANIFEST_SCHEMA,
+    METRICS_SCHEMA,
+    SCORECARD_SCHEMA,
+    PROFILE_SCHEMA,
+    BENCH_SCHEMA,
+    ARCHIVE_SCHEMA,
+    TRACE_DOC_SCHEMA,
+    REGISTRY_SCHEMA,
+    TRENDS_SCHEMA,
+    ALERTS_SCHEMA,
+})
+
+#: Telemetry-dir artifact file -> the schema id its contents must carry.
+#: (JSONL streams — trace.jsonl, events.jsonl, quarantine.jsonl — are
+#: line-oriented and carry no document-level id.)
+ARTIFACT_SCHEMAS: Dict[str, str] = {
+    "manifest.json": MANIFEST_SCHEMA,
+    "metrics.json": METRICS_SCHEMA,
+    "scorecard.json": SCORECARD_SCHEMA,
+    "profile.json": PROFILE_SCHEMA,
+    "BENCH_pipeline.json": BENCH_SCHEMA,
+    "archive.json": ARCHIVE_SCHEMA,
+    "alerts.json": ALERTS_SCHEMA,
+}
+
+
+class SchemaError(ValueError):
+    """A JSON artifact carries a missing, unknown, or mismatched schema
+    id.  The message is a single printable line."""
+
+
+def artifact_schema(document: Optional[dict]) -> Optional[str]:
+    """The ``"schema"`` id of a parsed JSON artifact, or None."""
+    if not isinstance(document, dict):
+        return None
+    value = document.get("schema")
+    return value if isinstance(value, str) else None
+
+
+def check_schema(document: Optional[dict], expected: str,
+                 source: str = "artifact") -> None:
+    """Raise :class:`SchemaError` unless ``document`` carries exactly
+    ``expected`` as its schema id."""
+    found = artifact_schema(document)
+    if found != expected:
+        raise SchemaError(
+            f"{source}: schema id {found!r} does not match "
+            f"expected {expected!r}"
+        )
+
+
+def check_artifact(name: str, document: Optional[dict],
+                   source: str = "") -> None:
+    """Validate one telemetry artifact by filename.
+
+    Unknown filenames pass (forward compatibility); known filenames must
+    carry their registered id.  Documents written before the schema key
+    existed (no ``"schema"`` at all) fail — the registry refuses to
+    ingest artifacts it cannot version-check.
+    """
+    expected = ARTIFACT_SCHEMAS.get(name)
+    if expected is None or document is None:
+        return
+    check_schema(document, expected, source=source or name)
+
+
+def canonical_json(value) -> str:
+    """The canonical serialization used for hashing: sorted keys,
+    minimal separators, no NaN literals."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False, default=str)
+
+
+def config_hash(config: Optional[dict]) -> str:
+    """A short stable digest of a run's configuration dict.
+
+    Key order does not matter; any JSON-representable config hashes the
+    same on every platform.  Used to key registry rows so runs are only
+    comparable to runs of the same configuration.
+    """
+    digest = hashlib.sha256(canonical_json(config or {}).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+__all__ = [
+    "ALERTS_SCHEMA",
+    "ARCHIVE_SCHEMA",
+    "ARTIFACT_SCHEMAS",
+    "BENCH_SCHEMA",
+    "KNOWN_SCHEMAS",
+    "MANIFEST_SCHEMA",
+    "METRICS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "REGISTRY_SCHEMA",
+    "SCORECARD_SCHEMA",
+    "SchemaError",
+    "TRACE_DOC_SCHEMA",
+    "TRENDS_SCHEMA",
+    "artifact_schema",
+    "canonical_json",
+    "check_artifact",
+    "check_schema",
+    "config_hash",
+]

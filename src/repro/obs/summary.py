@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.obs.metrics import exported_histogram_quantile
 from repro.obs.rundir import RunDir
+from repro.obs.schemas import TRACE_DOC_SCHEMA, config_hash
 
 
 def _format_table(headers: List[str], rows: List[List[str]]) -> str:
@@ -266,6 +267,158 @@ def _stage_failures_section(manifest: Optional[dict]) -> Optional[str]:
     )
 
 
+def _http_table(run: RunDir) -> Dict[str, dict]:
+    """Per-host request counts, latency quantiles, and wait totals as
+    plain data (the machine-readable twin of :func:`_http_section`)."""
+    latency = run.histogram_series("http_request_sim_seconds")
+    scalars = run.scalar_metrics()
+    waits: Dict[str, List[float]] = {}
+    for (name, labels), value in scalars.items():
+        if name not in ("http_retry_wait_seconds_total",
+                        "http_politeness_wait_seconds_total"):
+            continue
+        host = dict(labels).get("host", "")
+        slot = waits.setdefault(host, [0.0, 0.0])
+        slot[0 if name.startswith("http_retry") else 1] += value
+    series_by_host = {
+        (s.get("labels") or {}).get("host", ""): s for s in latency
+    }
+    table: Dict[str, dict] = {}
+    for host in sorted(set(series_by_host) | set(waits)):
+        series = series_by_host.get(host)
+        retry, polite = waits.get(host, [0.0, 0.0])
+        table[host] = {
+            "requests": int(series.get("count", 0)) if series else 0,
+            "p50_sim_seconds": round(
+                exported_histogram_quantile(series, 0.5), 6) if series else 0.0,
+            "p95_sim_seconds": round(
+                exported_histogram_quantile(series, 0.95), 6) if series else 0.0,
+            "retry_wait_seconds": round(retry, 6),
+            "politeness_wait_seconds": round(polite, 6),
+        }
+    return table
+
+
+def _crawl_totals(manifest: Optional[dict]) -> dict:
+    """Summed per-marketplace crawl counters plus grand totals."""
+    reports = ((manifest or {}).get("crawl") or {}).get("reports") or []
+    by_marketplace: Dict[str, Dict[str, int]] = {}
+    for report in reports:
+        row = by_marketplace.setdefault(report.get("marketplace", ""), {
+            "pages_fetched": 0, "offers_found": 0,
+            "offers_parsed": 0, "sellers_fetched": 0, "errors": 0,
+        })
+        for key in row:
+            row[key] += int(report.get(key, 0))
+    pages = sum(r["pages_fetched"] for r in by_marketplace.values())
+    errors = sum(r["errors"] for r in by_marketplace.values())
+    return {
+        "by_marketplace": dict(sorted(by_marketplace.items())),
+        "pages_total": pages,
+        "errors_total": errors,
+        "error_rate": round(errors / pages, 6) if pages else 0.0,
+    }
+
+
+def trace_document(source: Union[str, RunDir]) -> dict:
+    """The ``repro trace --json`` document: one stable, schema-versioned
+    JSON view over a telemetry directory.
+
+    Scripts and the cross-run :class:`~repro.obs.registry.RunRegistry`
+    ingester both consume this document, so the text renderer and the
+    machine path can never drift apart.  Keys are sorted at serialization
+    time and every float is rounded, so two loads of the same directory
+    produce byte-identical output.  Sections whose artifacts are absent
+    come out as ``None`` rather than being omitted.
+    """
+    run = source if isinstance(source, RunDir) else RunDir.load(source)
+    manifest = run.manifest or {}
+    config = manifest.get("config") or {}
+
+    scorecard = None
+    if run.scorecard:
+        scorecard = {
+            "passed": bool(run.scorecard.get("passed")),
+            "n_entries": run.scorecard.get("n_entries", 0),
+            "n_failed": run.scorecard.get("n_failed", 0),
+            "entries": [
+                {
+                    "name": entry.get("name"),
+                    "kind": entry.get("kind"),
+                    "value": entry.get("value"),
+                    "low": entry.get("low"),
+                    "high": entry.get("high"),
+                    "passed": entry.get("passed"),
+                }
+                for entry in run.scorecard.get("entries", [])
+            ],
+        }
+
+    watchdog = run.watchdog_summary()
+    watchdog_doc = None
+    if watchdog is not None:
+        counts = watchdog.get("counts") or {}
+        watchdog_doc = {
+            "counts": dict(sorted(counts.items())),
+            "findings_total": len(watchdog.get("findings") or []),
+        }
+
+    profile_doc = None
+    if run.profile:
+        totals = run.profile.get("totals") or {}
+        memory = totals.get("memory") or {}
+        profile_doc = {
+            "phases": [
+                {
+                    "name": phase.get("name"),
+                    "kind": phase.get("kind"),
+                    "wall_seconds": phase.get("wall_seconds"),
+                    "sim_seconds": phase.get("sim_seconds"),
+                }
+                for phase in run.profile.get("phases") or []
+            ],
+            "totals": {
+                "sim_seconds": totals.get("sim_seconds"),
+                "wall_seconds": totals.get("wall_seconds"),
+                "tracemalloc_peak_bytes": memory.get("tracemalloc_peak_bytes"),
+                "rss_max_kb": memory.get("rss_max_kb"),
+            },
+        }
+
+    return {
+        "schema": TRACE_DOC_SCHEMA,
+        "path": run.path,
+        "run": {
+            "git": manifest.get("git"),
+            "python": manifest.get("python"),
+            "seed": manifest.get("seed", config.get("seed")),
+            "config": dict(sorted(config.items())),
+            "config_hash": manifest.get("config_hash")
+            or config_hash(config),
+            "simulated_seconds": manifest.get("simulated_seconds"),
+            "dataset": manifest.get("dataset") or {},
+        },
+        "stages": [
+            {
+                "name": stage.get("name"),
+                "sim_seconds": stage.get("sim_seconds", 0.0),
+                "wall_seconds": stage.get("wall_seconds", 0.0),
+                "spans": stage.get("spans", 0),
+            }
+            for stage in run.stages
+        ],
+        "scorecard": scorecard,
+        "watchdog": watchdog_doc,
+        "contracts": manifest.get("contracts"),
+        "stage_failures": manifest.get("stage_failures") or [],
+        "archive": manifest.get("archive"),
+        "profile": profile_doc,
+        "crawl": _crawl_totals(manifest),
+        "events": run.event_kind_counts(),
+        "http": _http_table(run),
+    }
+
+
 def render_trace_summary(source: Union[str, RunDir]) -> str:
     """The full ``repro trace`` report for one telemetry directory.
 
@@ -335,4 +488,4 @@ def render_trace_summary(source: Union[str, RunDir]) -> str:
     return "\n\n".join(sections)
 
 
-__all__ = ["render_trace_summary"]
+__all__ = ["render_trace_summary", "trace_document"]

@@ -1,0 +1,229 @@
+"""Per-metric trend series across registered runs.
+
+Reads a :class:`~repro.obs.registry.RunRegistry` and turns each stored
+metric into a :class:`TrendSeries`: the ordered points plus the robust
+baseline statistics (median and MAD — median absolute deviation) that
+the deterministic anomaly rules in :mod:`repro.obs.alerts` threshold
+against.  Median/MAD rather than mean/stddev because run histories are
+short and a single bad run must not drag its own baseline toward
+itself.
+
+Everything here is pure arithmetic over registry contents: same
+registry, same trends, byte for byte.  N same-seed runs of the same
+code produce zero-variance fidelity and sim-time series (MAD = 0); only
+wall-clock metrics (``stage_wall_seconds.*``, ``profile.*``) vary with
+the machine, which is why alerting treats them as opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.schemas import TRENDS_SCHEMA
+
+#: Metric-name prefixes whose values depend on the machine, not the
+#: seed; rendered for context but excluded from default alerting.
+MACHINE_METRIC_PREFIXES = ("stage_wall_seconds.", "profile.")
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def median(values: Sequence[float]) -> float:
+    """The median of a non-empty sequence (0.0 when empty)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: median)."""
+    if not values:
+        return 0.0
+    mid = median(values) if center is None else center
+    return median([abs(value - mid) for value in values])
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode block-character sparkline of a value sequence."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high - low <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    return "".join(
+        _SPARK_LEVELS[
+            min(int((value - low) / span * len(_SPARK_LEVELS)),
+                len(_SPARK_LEVELS) - 1)
+        ]
+        for value in values
+    )
+
+
+@dataclass
+class TrendPoint:
+    """One metric observation: the run it came from, in ingest order."""
+
+    seq: int
+    run_id: str
+    value: float
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "run_id": self.run_id, "value": self.value}
+
+
+@dataclass
+class TrendSeries:
+    """One metric across runs plus its rolling baseline statistics."""
+
+    name: str
+    points: List[TrendPoint] = field(default_factory=list)
+
+    @property
+    def values(self) -> List[float]:
+        return [point.value for point in self.points]
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    @property
+    def latest(self) -> float:
+        return self.points[-1].value if self.points else 0.0
+
+    @property
+    def machine_dependent(self) -> bool:
+        return self.name.startswith(MACHINE_METRIC_PREFIXES)
+
+    def baseline_values(self) -> List[float]:
+        """Every value but the latest — the history the newest run is
+        judged against.  A single-run series has no baseline."""
+        return self.values[:-1]
+
+    def baseline_median(self) -> float:
+        return median(self.baseline_values())
+
+    def baseline_mad(self) -> float:
+        return mad(self.baseline_values())
+
+    @property
+    def zero_variance(self) -> bool:
+        values = self.values
+        return len(set(values)) <= 1 if values else True
+
+    @property
+    def delta(self) -> float:
+        """Latest value minus the baseline median (0 with no history)."""
+        if len(self.points) < 2:
+            return 0.0
+        return self.latest - self.baseline_median()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n": self.n,
+            "latest": self.latest,
+            "median": median(self.values),
+            "mad": mad(self.values),
+            "min": min(self.values) if self.points else 0.0,
+            "max": max(self.values) if self.points else 0.0,
+            "delta": round(self.delta, 9),
+            "zero_variance": self.zero_variance,
+            "machine_dependent": self.machine_dependent,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+
+def compute_trends(registry, names: Optional[Sequence[str]] = None,
+                   last_n: Optional[int] = None) -> List[TrendSeries]:
+    """Every requested metric (default: all) as a trend series over the
+    last ``last_n`` runs (default: all), sorted by name."""
+    wanted = list(names) if names else registry.metric_names()
+    series_list: List[TrendSeries] = []
+    for name in sorted(set(wanted)):
+        rows = registry.series(name, last_n=last_n)
+        if not rows:
+            continue
+        series_list.append(TrendSeries(
+            name=name,
+            points=[TrendPoint(seq, run_id, value)
+                    for (seq, run_id, value) in rows],
+        ))
+    return series_list
+
+
+def trends_document(series_list: Sequence[TrendSeries],
+                    runs: Optional[Sequence] = None) -> dict:
+    """The machine-readable ``repro runs trends --json`` document."""
+    return {
+        "schema": TRENDS_SCHEMA,
+        "n_series": len(series_list),
+        "runs": [run.to_dict() for run in runs] if runs is not None else None,
+        "series": [series.to_dict() for series in series_list],
+    }
+
+
+def render_trends_text(series_list: Sequence[TrendSeries]) -> str:
+    """The ``repro runs trends`` table: one row per metric with its
+    history sparkline and baseline statistics."""
+    if not series_list:
+        return "no metrics registered yet"
+    headers = ["metric", "n", "min", "median", "mad", "latest",
+               "delta", "trend"]
+    rows: List[List[str]] = []
+    for series in series_list:
+        values = series.values
+        rows.append([
+            series.name + (" *" if series.machine_dependent else ""),
+            str(series.n),
+            _fmt(min(values)),
+            _fmt(median(values)),
+            _fmt(mad(values)),
+            _fmt(series.latest),
+            _fmt(series.delta, signed=True),
+            sparkline(values),
+        ])
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i])
+                  for i in range(len(headers))).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(
+            row[i].ljust(widths[i]) for i in range(len(headers))
+        ).rstrip())
+    if any(series.machine_dependent for series in series_list):
+        lines.append("")
+        lines.append("* machine-dependent (wall clock / memory); "
+                     "excluded from default alerting")
+    return "\n".join(lines)
+
+
+def _fmt(value: float, signed: bool = False) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        text = f"{int(value):+d}" if signed else f"{int(value):d}"
+    else:
+        text = f"{value:+.4f}" if signed else f"{value:.4f}"
+    return text
+
+
+__all__ = [
+    "MACHINE_METRIC_PREFIXES",
+    "TrendPoint",
+    "TrendSeries",
+    "compute_trends",
+    "mad",
+    "median",
+    "render_trends_text",
+    "sparkline",
+    "trends_document",
+]

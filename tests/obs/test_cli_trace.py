@@ -72,6 +72,24 @@ class TestTraceCommand:
         assert "p50" in out and "p95" in out
         assert "polite wait" in out
 
+    def test_json_document(self, telemetry_dir, capsys):
+        assert main(["trace", telemetry_dir, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.trace-summary/v1"
+        assert document["run"]["seed"] == 99
+        assert document["run"]["config_hash"]
+        assert any(stage["name"] == "iteration_crawl"
+                   for stage in document["stages"])
+        assert document["scorecard"]["n_entries"] > 0
+        assert document["crawl"]["pages_total"] > 0
+        assert "http" in document
+
+    def test_json_is_byte_stable(self, telemetry_dir, capsys):
+        assert main(["trace", telemetry_dir, "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", telemetry_dir, "--json"]) == 0
+        assert capsys.readouterr().out == first
+
     def test_run_without_telemetry_writes_nothing(self, tmp_path):
         run_dir = tmp_path / "plain"
         code = main([
