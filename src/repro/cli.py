@@ -43,10 +43,22 @@ Commands
     the fleet dashboard), and evaluate the deterministic anomaly rules —
     ``alerts`` exits 1 when any rule fires, writing ``alerts.json`` with
     ``--out``.
+``monitor run|status``
+    The supervised continuous-measurement daemon: run the full pipeline
+    every ``--interval`` simulated seconds for ``--cycles`` cycles (or
+    ``--forever``), recording every cycle in a crash-safe schedule
+    ledger, ingesting each success into the state dir's run registry,
+    evaluating alerts, and bounding disk with ``--keep-runs`` /
+    ``--max-bytes``.  Exit codes: 0 done, 2 unusable state dir, 4 too
+    many consecutive cycle failures, 130 stopped by signal.  ``status``
+    renders the state dir's ledger/lock/registry/alerts view.
 
 Telemetry-reading commands (``trace``/``diff``/``health``) exit with
 code 2 when a directory is missing, empty, or corrupt; so do ``replay``
 and ``archive`` when the archive is missing, unsealed, or corrupt.
+``run`` itself traps SIGTERM/SIGINT: the partial dataset state is left
+on disk with a ``"partial": "interrupted"`` marker in its meta file and
+the exit code is 130.
 """
 
 from __future__ import annotations
@@ -54,6 +66,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 from typing import List, Optional
 
@@ -106,9 +119,24 @@ from repro.obs import (
     write_manifest,
     write_scorecard,
 )
+from repro.monitor import (
+    MonitorConfig,
+    MonitorDaemon,
+    MonitorError,
+    render_status,
+)
 from repro.obs.report_html import REPORT_FILENAME
+from repro.util.fileio import atomic_write_json
 
 META_FILENAME = "study_meta.json"
+
+
+class _RunInterrupted(Exception):
+    """SIGTERM/SIGINT arrived mid-study (``repro run``)."""
+
+    def __init__(self, signum: int):
+        super().__init__(f"signal {signum}")
+        self.signum = signum
 
 
 def _study_config(args: argparse.Namespace) -> StudyConfig:
@@ -256,11 +284,51 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     config = _study_config(args)
     telemetry = _telemetry_for(args)
+
+    # A graceful SIGTERM/SIGINT mid-study must not leave a half-written
+    # output dir that looks complete: the handler raises, we mark the
+    # meta file ``"partial": "interrupted"`` and exit 130.  The crawl
+    # checkpoint (--checkpoint-dir) is already flushed after every
+    # iteration, so --resume continues from the last durable boundary.
+    def _raise_interrupt(signum, _frame):
+        raise _RunInterrupted(signum)
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(
+                signum, _raise_interrupt
+            )
+        except ValueError:
+            # Not the main thread (embedded use); run unprotected.
+            break
     try:
         result = Study(config, telemetry=telemetry).run()
     except ContractViolationError as exc:
         print(f"strict contracts: {exc}", file=sys.stderr)
         return 3
+    except _RunInterrupted as exc:
+        os.makedirs(args.out, exist_ok=True)
+        atomic_write_json(os.path.join(args.out, META_FILENAME), {
+            "seed": args.seed,
+            "scale": args.scale,
+            "iterations": args.iterations,
+            "partial": "interrupted",
+            "signal": exc.signum,
+        })
+        print(
+            f"interrupted by signal {exc.signum}: partial run marked in "
+            f"{args.out}/{META_FILENAME}"
+            + (
+                "; resume with --resume"
+                if getattr(args, "checkpoint_dir", None) else ""
+            ),
+            file=sys.stderr,
+        )
+        return 130
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     os.makedirs(args.out, exist_ok=True)
     result.dataset.save(args.out)
     if result.quarantine is not None:
@@ -277,8 +345,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         },
         "simulated_seconds": result.simulated_seconds,
     }
-    with open(os.path.join(args.out, META_FILENAME), "w", encoding="utf-8") as handle:
-        json.dump(meta, handle, indent=2)
+    atomic_write_json(os.path.join(args.out, META_FILENAME), meta)
     _export_telemetry(args, config, result, telemetry)
     print(f"saved run to {args.out}: {result.dataset.summary()}")
     return 0
@@ -481,8 +548,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         },
         "simulated_seconds": result.simulated_seconds,
     }
-    with open(os.path.join(args.out, META_FILENAME), "w", encoding="utf-8") as handle:
-        json.dump(meta, handle, indent=2)
+    atomic_write_json(os.path.join(args.out, META_FILENAME), meta)
     if result.scorecard is not None:
         write_scorecard(args.out, result.scorecard)
     config = StudyConfig(
@@ -649,6 +715,48 @@ def cmd_runs_alerts(args: argparse.Namespace) -> int:
     return 1 if report.fired else 0
 
 
+def cmd_monitor_run(args: argparse.Namespace) -> int:
+    configure_logging(getattr(args, "log_level", "warning"))
+    if not args.forever and args.cycles is None:
+        print("monitor run needs --cycles N or --forever", file=sys.stderr)
+        return 2
+    config = MonitorConfig(
+        state_dir=args.state_dir,
+        cycles=None if args.forever else args.cycles,
+        interval_seconds=args.interval,
+        seed=args.seed,
+        scale=args.scale,
+        iterations=args.iterations,
+        include_underground=not args.no_underground,
+        chaos_profile=args.chaos,
+        catch_up=args.catch_up,
+        keep_runs=args.keep_runs,
+        max_bytes=args.max_bytes,
+        max_attempts=args.max_attempts,
+        backoff_seconds=args.backoff,
+        max_consecutive_failures=args.max_failures,
+        degraded_policy=args.degraded,
+        fail_stages=tuple(
+            args.fail_stage or (("anatomy",) if args.fail_cycle else ())
+        ),
+        fail_cycles=tuple(args.fail_cycle or ()),
+        scheduler="wall" if args.wall_clock else "sim",
+    )
+    daemon = MonitorDaemon(
+        config, printer=lambda line: print(line, file=sys.stderr)
+    )
+    return daemon.run(install_signals=True)
+
+
+def cmd_monitor_status(args: argparse.Namespace) -> int:
+    try:
+        print(render_status(args.state_dir))
+    except MonitorError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05,
                         help="world scale; 1.0 = the paper's 38K listings")
@@ -807,6 +915,85 @@ def build_parser() -> argparse.ArgumentParser:
                                help="also write machine-readable "
                                     "alerts.json here (file or directory)")
     alerts_parser.set_defaults(handler=cmd_runs_alerts)
+
+    monitor_parser = commands.add_parser(
+        "monitor",
+        help="supervised continuous measurement: run the pipeline on a "
+             "recurring schedule with a crash-safe cycle ledger",
+    )
+    monitor_commands = monitor_parser.add_subparsers(
+        dest="monitor_command", required=True
+    )
+    mrun_parser = monitor_commands.add_parser(
+        "run",
+        help="run measurement cycles against a state directory "
+             "(exit 0 done, 2 bad state dir, 4 circuit, 130 signal)",
+    )
+    mrun_parser.add_argument("--state-dir", required=True, metavar="DIR",
+                             help="the monitor state directory (ledger, "
+                                  "registry, cycle run dirs, lock)")
+    mrun_parser.add_argument("--cycles", type=int, default=None, metavar="N",
+                             help="total cycles in the campaign")
+    mrun_parser.add_argument("--forever", action="store_true",
+                             help="run until stopped by a signal")
+    mrun_parser.add_argument("--interval", type=float, default=86400.0,
+                             metavar="SECONDS",
+                             help="simulated seconds between cycle starts "
+                                  "(default: daily)")
+    mrun_parser.add_argument("--seed", type=int, default=2024,
+                             help="series base seed; cycle k runs with "
+                                  "seed+k")
+    mrun_parser.add_argument("--scale", type=float, default=0.02)
+    mrun_parser.add_argument("--iterations", type=int, default=3)
+    mrun_parser.add_argument("--no-underground", action="store_true")
+    mrun_parser.add_argument("--chaos", default="off",
+                             choices=["off", "light", "moderate", "heavy"])
+    mrun_parser.add_argument("--catch-up", default="run",
+                             choices=["run", "skip"],
+                             help="torn/missed cycles on restart: re-run "
+                                  "them or record them skipped")
+    mrun_parser.add_argument("--keep-runs", type=int, default=None,
+                             metavar="N",
+                             help="retention: keep at most N ingested run "
+                                  "dirs (the registry keeps every row)")
+    mrun_parser.add_argument("--max-bytes", type=int, default=None,
+                             metavar="B",
+                             help="retention: keep at most B bytes of "
+                                  "ingested run dirs")
+    mrun_parser.add_argument("--max-attempts", type=int, default=2,
+                             help="attempts per cycle before it counts "
+                                  "as failed")
+    mrun_parser.add_argument("--backoff", type=float, default=300.0,
+                             metavar="SECONDS",
+                             help="simulated backoff before a retry "
+                                  "(doubles per further retry)")
+    mrun_parser.add_argument("--max-failures", type=int, default=3,
+                             metavar="N",
+                             help="consecutive failed cycles before the "
+                                  "daemon exits 4")
+    mrun_parser.add_argument("--degraded", default="fail",
+                             choices=["fail", "ingest"],
+                             help="a cycle with degraded analysis stages: "
+                                  "fail it (default) or ingest it anyway")
+    mrun_parser.add_argument("--fail-cycle", action="append", type=int,
+                             metavar="K",
+                             help="drill: deliberately degrade cycle K "
+                                  "(repeatable; see --fail-stage)")
+    mrun_parser.add_argument("--fail-stage", action="append", metavar="STAGE",
+                             choices=list(STAGE_NAMES),
+                             help="analysis stage(s) to fail in "
+                                  "--fail-cycle cycles (default: anatomy)")
+    mrun_parser.add_argument("--wall-clock", action="store_true",
+                             help="really sleep --interval between cycles "
+                                  "instead of simulated-time scheduling")
+    mrun_parser.add_argument("--log-level", default="warning",
+                             choices=["debug", "info", "warning", "error"])
+    mrun_parser.set_defaults(handler=cmd_monitor_run)
+    mstatus_parser = monitor_commands.add_parser(
+        "status", help="render a state dir's ledger/lock/registry/alerts"
+    )
+    mstatus_parser.add_argument("--state-dir", required=True, metavar="DIR")
+    mstatus_parser.set_defaults(handler=cmd_monitor_status)
 
     diff_parser = commands.add_parser(
         "diff", help="compare two telemetry dirs; exit 1 on regressions"

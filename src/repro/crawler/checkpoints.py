@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.core.dataset import ListingRecord, SellerRecord
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.util.fileio import atomic_write_json
 
 
 @dataclass
@@ -63,10 +64,7 @@ class CrawlCheckpoint:
         if directory:
             os.makedirs(directory, exist_ok=True)
         # Write-then-rename so a crash never leaves a torn checkpoint.
-        temp_path = path + ".tmp"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(temp_path, path)
+        atomic_write_json(path, payload, indent=None, sort_keys=False)
 
     @classmethod
     def load(cls, path: str) -> "CrawlCheckpoint":

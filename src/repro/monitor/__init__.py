@@ -1,0 +1,91 @@
+"""Supervised continuous measurement: the ``repro monitor`` daemon.
+
+The pipeline so far runs once and exits; this package runs it as a
+recurring campaign where every cycle is a fault domain:
+
+* :mod:`repro.monitor.ledger` — the durable append-only JSONL schedule
+  ledger (``planned → running → ingested | failed | skipped``, fsynced
+  per entry, torn-tail tolerant, byte-deterministic across same-seed
+  daemons);
+* :mod:`repro.monitor.supervisor` — per-cycle isolation: retry/backoff
+  policy, typed failure reasons, the consecutive-failure circuit;
+* :mod:`repro.monitor.retention` — disk budgets (``--keep-runs`` /
+  ``--max-bytes``) that never delete an un-ingested run dir;
+* :mod:`repro.monitor.lock` — the single-owner state-dir lock with
+  stale-owner detection;
+* :mod:`repro.monitor.daemon` — the main loop: SIGKILL recovery with
+  torn-cycle quarantine, catch-up policy, registry ingestion + alert
+  evaluation per cycle, graceful signal shutdown (exit 130);
+* :mod:`repro.monitor.status` — the ``repro monitor status`` view.
+"""
+
+from repro.monitor.daemon import (
+    CYCLES_DIRNAME,
+    EXIT_CIRCUIT,
+    EXIT_OK,
+    EXIT_SIGNAL,
+    EXIT_STATE_ERROR,
+    MonitorAbort,
+    MonitorConfig,
+    MonitorDaemon,
+    QUARANTINE_DIRNAME,
+    run_id_for_cycle,
+)
+from repro.monitor.errors import LockError, MonitorError
+from repro.monitor.ledger import (
+    CycleState,
+    KNOWN_STATUSES,
+    LEDGER_FILENAME,
+    ScheduleLedger,
+    TERMINAL_STATUSES,
+)
+from repro.monitor.lock import LOCK_FILENAME, StateLock, default_pid_alive
+from repro.monitor.retention import (
+    RetentionPolicy,
+    apply_retention,
+    dir_bytes,
+)
+from repro.monitor.status import render_status
+from repro.monitor.supervisor import (
+    CycleFault,
+    CycleOutcome,
+    CyclePolicy,
+    CycleSupervisor,
+    DegradedCycleFault,
+    InjectedCycleFault,
+    classify_failure,
+)
+
+__all__ = [
+    "CYCLES_DIRNAME",
+    "CycleFault",
+    "CycleOutcome",
+    "CyclePolicy",
+    "CycleState",
+    "CycleSupervisor",
+    "DegradedCycleFault",
+    "EXIT_CIRCUIT",
+    "EXIT_OK",
+    "EXIT_SIGNAL",
+    "EXIT_STATE_ERROR",
+    "InjectedCycleFault",
+    "KNOWN_STATUSES",
+    "LEDGER_FILENAME",
+    "LOCK_FILENAME",
+    "LockError",
+    "MonitorAbort",
+    "MonitorConfig",
+    "MonitorDaemon",
+    "MonitorError",
+    "QUARANTINE_DIRNAME",
+    "RetentionPolicy",
+    "ScheduleLedger",
+    "StateLock",
+    "TERMINAL_STATUSES",
+    "apply_retention",
+    "classify_failure",
+    "default_pid_alive",
+    "dir_bytes",
+    "render_status",
+    "run_id_for_cycle",
+]

@@ -1,0 +1,19 @@
+"""Error types shared across the monitor package.
+
+Every message is a single printable line: the CLI prints it and exits
+with a distinct code instead of tracebacking, the same contract the
+telemetry/registry/archive readers follow.
+"""
+
+from __future__ import annotations
+
+
+class MonitorError(RuntimeError):
+    """A monitor state directory, ledger, or lock is unusable."""
+
+
+class LockError(MonitorError):
+    """Another live daemon owns the state directory."""
+
+
+__all__ = ["LockError", "MonitorError"]

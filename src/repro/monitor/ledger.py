@@ -1,0 +1,246 @@
+"""The monitor's durable schedule ledger: append-only JSONL, crash-safe.
+
+The ledger is the daemon's only memory of what it has done.  Every cycle
+walks ``planned → running → ingested | failed | skipped``; each
+transition is one appended line, flushed and fsynced before the daemon
+acts on it, so a SIGKILL at any instant leaves a prefix of the true
+history plus at most one torn final line (which loading tolerates and
+drops — the write it belonged to never happened).
+
+A cycle whose last recorded status is ``running`` is a **torn cycle**:
+the daemon died mid-cycle.  Restart recovery quarantines its partial
+run directory and either re-plans it (``catch_up="run"``) or records it
+``skipped`` (``catch_up="skip"``).
+
+Determinism: no entry carries a wall-clock timestamp — cycles are
+stamped with their scheduled *simulated* time and the registry sequence
+numbers they produced — so two same-seed daemons (one SIGKILL-ed and
+restarted, one uninterrupted) write byte-identical ledgers modulo the
+torn cycle's extra ``running``/``quarantined`` lines.  The first line is
+a header carrying :data:`~repro.obs.schemas.MONITOR_LEDGER_SCHEMA` and
+the monitor's config hash; reopening a state dir with a different
+deterministic config refuses rather than silently mixing histories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.monitor.errors import MonitorError
+from repro.obs.schemas import MONITOR_LEDGER_SCHEMA, canonical_json
+
+LEDGER_FILENAME = "ledger.jsonl"
+
+#: Cycle statuses that end a cycle's lifecycle (no more attempts).
+TERMINAL_STATUSES = frozenset({"ingested", "failed", "skipped"})
+#: Every status a ledger entry may carry.
+KNOWN_STATUSES = frozenset({
+    "planned", "running", "ingested", "failed", "skipped",
+    "quarantined", "retired",
+})
+
+
+@dataclass
+class CycleState:
+    """One cycle's current position in the ledger's state machine."""
+
+    cycle: int
+    #: Last lifecycle status (planned/running/ingested/failed/skipped).
+    status: str = "planned"
+    #: Running-entry attempts seen for the current plan epoch.
+    attempts: int = 0
+    #: The terminal entry's interesting fields (run_id, reason, ...).
+    detail: dict = field(default_factory=dict)
+    #: The cycle's run dir was garbage-collected by retention.
+    retired: bool = False
+    #: A previous partial attempt was quarantined on restart.
+    quarantined: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def torn(self) -> bool:
+        """Died mid-cycle: a ``running`` entry with no terminal one."""
+        return self.status == "running"
+
+
+class ScheduleLedger:
+    """Append-only JSONL ledger in the monitor state directory.
+
+    Use :meth:`open` — it creates the file with its header line on
+    first use and validates the header (schema id, config hash) on
+    every reopen.  :meth:`append` writes one canonical-JSON line and
+    fsyncs before returning: once ``append`` returns, the entry
+    survives SIGKILL.
+    """
+
+    def __init__(self, path: str, header: dict,
+                 entries: Optional[List[dict]] = None):
+        self.path = path
+        self.header = header
+        self.entries: List[dict] = list(entries or [])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str, config_hash: str,
+             extra_header: Optional[dict] = None) -> "ScheduleLedger":
+        """Open (creating if absent) the ledger at ``path``.
+
+        ``config_hash`` digests the monitor's deterministic config; a
+        ledger recorded under a different hash belongs to a different
+        measurement series and refuses to continue.
+        """
+        if os.path.exists(path):
+            header, entries = cls._load(path)
+            if header.get("schema") != MONITOR_LEDGER_SCHEMA:
+                raise MonitorError(
+                    f"{path}: ledger schema {header.get('schema')!r} does "
+                    f"not match expected {MONITOR_LEDGER_SCHEMA!r}"
+                )
+            if header.get("config_hash") != config_hash:
+                raise MonitorError(
+                    f"{path}: ledger belongs to monitor config "
+                    f"{header.get('config_hash')!r}, not {config_hash!r} — "
+                    "refusing to mix measurement series in one state dir"
+                )
+            return cls(path, header, entries)
+        header = {"schema": MONITOR_LEDGER_SCHEMA,
+                  "config_hash": config_hash}
+        header.update(extra_header or {})
+        ledger = cls(path, header)
+        ledger._append_line(header)
+        return ledger
+
+    @classmethod
+    def read(cls, path: str) -> "ScheduleLedger":
+        """Open an existing ledger for inspection (``monitor status``)
+        without asserting a config hash; never creates the file."""
+        if not os.path.exists(path):
+            raise MonitorError(f"no monitor ledger at {path}")
+        header, entries = cls._load(path)
+        if header.get("schema") != MONITOR_LEDGER_SCHEMA:
+            raise MonitorError(
+                f"{path}: ledger schema {header.get('schema')!r} does "
+                f"not match expected {MONITOR_LEDGER_SCHEMA!r}"
+            )
+        return cls(path, header, entries)
+
+    @staticmethod
+    def _load(path: str) -> Tuple[dict, List[dict]]:
+        """Parse the ledger, tolerating exactly one torn final line.
+
+        A torn tail is the signature of a crash mid-append: the entry
+        was never durable, so it is dropped.  A corrupt line anywhere
+        else means the file was edited or the disk lied — that is a
+        :class:`MonitorError`, not something to silently skip.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        # A complete file ends with "\n": the final split element is "".
+        torn_tail = lines and lines[-1] != ""
+        if not torn_tail:
+            lines = lines[:-1]
+        records: List[dict] = []
+        for index, line in enumerate(lines):
+            is_last = index == len(lines) - 1
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("entry is not an object")
+            except ValueError as exc:
+                if is_last and torn_tail:
+                    break  # crash mid-append; the entry never happened
+                raise MonitorError(
+                    f"{path}: corrupt ledger line {index + 1}: {exc}"
+                ) from None
+            records.append(record)
+        if not records:
+            raise MonitorError(f"{path}: ledger has no header line")
+        return records[0], records[1:]
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: dict) -> dict:
+        """Durably append one cycle entry and return it."""
+        status = record.get("status")
+        if status not in KNOWN_STATUSES:
+            raise MonitorError(f"unknown ledger status {status!r}")
+        self._append_line(record)
+        self.entries.append(record)
+        return record
+
+    def _append_line(self, record: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(canonical_json(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- views -------------------------------------------------------------
+
+    def cycle_states(self) -> Dict[int, CycleState]:
+        """Replay the entries into one :class:`CycleState` per cycle."""
+        states: Dict[int, CycleState] = {}
+        for record in self.entries:
+            cycle = record.get("cycle")
+            if not isinstance(cycle, int):
+                continue
+            state = states.setdefault(cycle, CycleState(cycle=cycle))
+            status = record.get("status")
+            if status == "retired":
+                state.retired = True
+            elif status == "quarantined":
+                state.quarantined = True
+                state.status = "quarantined"
+                state.attempts = 0
+            elif status == "planned":
+                state.status = "planned"
+                state.attempts = 0
+            elif status == "running":
+                state.status = "running"
+                state.attempts += 1
+            elif status in TERMINAL_STATUSES:
+                state.status = status
+                state.detail = {
+                    key: value for key, value in record.items()
+                    if key not in ("cycle", "status")
+                }
+        return states
+
+    def torn_cycles(self) -> List[int]:
+        """Cycles whose last status is ``running`` — died mid-cycle."""
+        return sorted(
+            state.cycle for state in self.cycle_states().values()
+            if state.torn
+        )
+
+    def terminal_cycles(self, status: Optional[str] = None) -> List[int]:
+        """Cycles with a terminal status (optionally one specific)."""
+        return sorted(
+            state.cycle for state in self.cycle_states().values()
+            if state.terminal and (status is None or state.status == status)
+        )
+
+    def live_ingested_cycles(self) -> List[int]:
+        """Ingested cycles whose run dirs retention has not collected."""
+        return sorted(
+            state.cycle for state in self.cycle_states().values()
+            if state.status == "ingested" and not state.retired
+        )
+
+
+__all__ = [
+    "CycleState",
+    "KNOWN_STATUSES",
+    "LEDGER_FILENAME",
+    "ScheduleLedger",
+    "TERMINAL_STATUSES",
+]

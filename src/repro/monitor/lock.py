@@ -1,0 +1,100 @@
+"""Single-owner lock for a monitor state directory.
+
+Two daemons appending to one ledger would interleave cycle histories;
+the lock makes the state dir single-writer.  It is a plain lock file
+created with ``O_CREAT | O_EXCL`` (atomic on every filesystem the repo
+targets) whose payload is the owner's pid.  A lock whose pid is no
+longer alive — the daemon was SIGKILL-ed — is **stale** and silently
+reclaimed; a lock naming a live process is a hard :class:`LockError`.
+
+A pid equal to our own is also treated as reclaimable: that is this
+very process restarting in-process (the soak test's kill-and-restart
+drill), not a competing daemon.
+
+``pid_alive`` is injectable so tests can simulate dead owners without
+forking.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.monitor.errors import LockError
+
+LOCK_FILENAME = "monitor.lock"
+
+
+def default_pid_alive(pid: int) -> bool:
+    """Is ``pid`` a live process we could signal?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    return True
+
+
+class StateLock:
+    """Own a monitor state directory for the life of the daemon."""
+
+    def __init__(self, path: str,
+                 pid_alive: Optional[Callable[[int], bool]] = None):
+        self.path = path
+        self.pid_alive = pid_alive or default_pid_alive
+        self.held = False
+
+    def acquire(self) -> "StateLock":
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                owner = self._read_owner()
+                if owner is not None and owner != os.getpid() \
+                        and self.pid_alive(owner):
+                    raise LockError(
+                        f"{self.path}: state dir is owned by live monitor "
+                        f"pid {owner} — refusing to run two daemons on one "
+                        "state dir"
+                    ) from None
+                # Stale (dead owner, unreadable payload, or our own pid
+                # from an in-process restart): reclaim and retry.
+                try:
+                    os.unlink(self.path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{os.getpid()}\n")
+            self.held = True
+            return self
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        self.held = False
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def _read_owner(self) -> Optional[int]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return int(handle.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    def __enter__(self) -> "StateLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+__all__ = ["LOCK_FILENAME", "StateLock", "default_pid_alive"]

@@ -1,0 +1,97 @@
+"""Disk-budget retention for monitor state directories.
+
+A daemon that runs forever accumulates run directories forever.  The
+retention pass bounds that growth with two knobs — keep at most N
+ingested run dirs (``keep_runs``) and/or at most B bytes of them
+(``max_bytes``) — and one inviolable rule: **never delete a directory
+the registry has not ingested**.  A torn or failed cycle's partial dir
+is evidence for debugging (and is quarantined, not retained), and an
+un-ingested success would lose a measurement; only cycles the ledger
+records as ``ingested`` are candidates, oldest first, and the most
+recent ingested cycle is always kept.
+
+Each deletion appends a ``retired`` marker to the ledger *before* the
+directory is removed, so a crash between the two leaves a marker whose
+dir is already gone on restart — harmless — rather than a deleted dir
+the ledger still believes is live.  Ledger entries carry no byte
+counts (sizes are machine-dependent; the ledger must stay
+byte-deterministic across hosts), so ``max_bytes`` decisions are made
+from the filesystem at runtime but recorded only as cycle numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.monitor.ledger import ScheduleLedger
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Bounds on the monitor state directory's run-dir footprint.
+
+    ``None`` disables a bound; both ``None`` means retention never
+    deletes anything.
+    """
+
+    keep_runs: Optional[int] = None
+    max_bytes: Optional[int] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.keep_runs is not None or self.max_bytes is not None
+
+
+def dir_bytes(path: str) -> int:
+    """Total size of regular files under ``path`` (0 if absent)."""
+    total = 0
+    for root, _dirs, files in os.walk(path):
+        for name in files:
+            try:
+                total += os.path.getsize(os.path.join(root, name))
+            except OSError:
+                continue
+    return total
+
+
+def apply_retention(ledger: ScheduleLedger, policy: RetentionPolicy,
+                    cycle_dir: Callable[[int], str],
+                    log: Callable[[str], None] = lambda line: None,
+                    ) -> List[int]:
+    """Retire ingested run dirs until the policy's bounds are met.
+
+    ``cycle_dir`` maps a cycle number to its run directory.  Returns
+    the cycles retired this pass (oldest first).  The newest ingested
+    cycle is never retired — a monitor must always hold its latest
+    measurement — so ``keep_runs=0`` behaves like ``keep_runs=1`` and
+    ``max_bytes`` smaller than one run dir still keeps one.
+    """
+    if not policy.enabled:
+        return []
+    live = ledger.live_ingested_cycles()
+    retired: List[int] = []
+
+    def retire(cycle: int) -> None:
+        path = cycle_dir(cycle)
+        ledger.append({"cycle": cycle, "status": "retired"})
+        shutil.rmtree(path, ignore_errors=True)
+        retired.append(cycle)
+        log(f"retention: retired cycle {cycle} run dir")
+
+    if policy.keep_runs is not None:
+        keep = max(1, policy.keep_runs)
+        while len(live) > keep:
+            retire(live.pop(0))
+    if policy.max_bytes is not None:
+        sizes = {cycle: dir_bytes(cycle_dir(cycle)) for cycle in live}
+        while len(live) > 1 and sum(sizes.values()) > policy.max_bytes:
+            cycle = live.pop(0)
+            sizes.pop(cycle, None)
+            retire(cycle)
+    return retired
+
+
+__all__ = ["RetentionPolicy", "apply_retention", "dir_bytes"]

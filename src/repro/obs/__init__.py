@@ -38,6 +38,7 @@ from repro.obs.alerts import (
     ALERTS_FILENAME,
     Alert,
     AlertConfig,
+    AlertNote,
     AlertReport,
     evaluate_alerts,
     write_alerts,
@@ -146,6 +147,7 @@ __all__ = [
     "ARTIFACT_SCHEMAS",
     "Alert",
     "AlertConfig",
+    "AlertNote",
     "AlertReport",
     "BENCH_FILENAME",
     "BENCH_SCHEMA",

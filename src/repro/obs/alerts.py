@@ -25,6 +25,12 @@ before it, applying fixed rules:
     Crawl page coverage, contract record coverage, or the number of
     traced stages fell below its baseline — critical.
 
+A degraded (failed-stage) latest run misses whole metric families; the
+rules never crash on the absence — each baseline metric the latest run
+did not report becomes a non-alarming ``missing_metric`` note in the
+report (and unscorable scorecard entries become ``unscorable_entry``
+notes), and every remaining metric is still judged.
+
 Every threshold is computed from values stored in the registry — no
 wall clock, no randomness — so the same registry contents always
 produce the same ``alerts.json``.  N same-seed runs of the same code
@@ -42,6 +48,7 @@ from typing import List, Optional
 
 from repro.obs.schemas import ALERTS_SCHEMA
 from repro.obs.trends import TrendSeries, compute_trends
+from repro.util.fileio import atomic_write_json
 
 ALERTS_FILENAME = "alerts.json"
 
@@ -113,6 +120,24 @@ class Alert:
         }
 
 
+@dataclass(frozen=True)
+class AlertNote:
+    """A non-alarming observation the evaluation wants on the record —
+    e.g. a baseline metric the (degraded) latest run never reported.
+
+    Notes never fire the exit-1 path; they exist so a failed-stage run
+    judged against a healthy baseline reads "these metrics were absent"
+    instead of silently judging only what happens to be present."""
+
+    kind: str  # "missing_metric" | "unscorable_entry"
+    metric: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "metric": self.metric,
+                "detail": self.detail}
+
+
 @dataclass
 class AlertReport:
     """Every alert of one evaluation plus the context it ran in."""
@@ -121,6 +146,7 @@ class AlertReport:
     runs_considered: int
     config: AlertConfig
     alerts: List[Alert] = field(default_factory=list)
+    notes: List[AlertNote] = field(default_factory=list)
 
     @property
     def fired(self) -> bool:
@@ -147,26 +173,34 @@ class AlertReport:
                     key=lambda a: (a.severity != "critical", a.rule, a.metric),
                 )
             ],
+            "notes": [
+                note.to_dict()
+                for note in sorted(self.notes,
+                                   key=lambda n: (n.kind, n.metric))
+            ],
         }
 
     def render_text(self) -> str:
         if not self.alerts:
-            return (
+            lines = [
                 f"no alerts: latest run {self.run_id} is within baseline "
                 f"({self.runs_considered} run(s) considered)"
-            )
-        lines = [
-            f"{len(self.alerts)} alert(s) on run {self.run_id} "
-            f"({self.runs_considered} run(s) considered):"
-        ]
-        for alert in sorted(
-            self.alerts,
-            key=lambda a: (a.severity != "critical", a.rule, a.metric),
-        ):
-            lines.append(
-                f"  [{alert.severity}] {alert.rule} {alert.metric}: "
-                f"{alert.message}"
-            )
+            ]
+        else:
+            lines = [
+                f"{len(self.alerts)} alert(s) on run {self.run_id} "
+                f"({self.runs_considered} run(s) considered):"
+            ]
+            for alert in sorted(
+                self.alerts,
+                key=lambda a: (a.severity != "critical", a.rule, a.metric),
+            ):
+                lines.append(
+                    f"  [{alert.severity}] {alert.rule} {alert.metric}: "
+                    f"{alert.message}"
+                )
+        for note in sorted(self.notes, key=lambda n: (n.kind, n.metric)):
+            lines.append(f"  [note] {note.kind} {note.metric}: {note.detail}")
         return "\n".join(lines)
 
 
@@ -193,9 +227,25 @@ def evaluate_alerts(registry, config: Optional[AlertConfig] = None,
 
     _check_fidelity_band(registry, latest, report)
     for name, series in sorted(trends.items()):
-        if series.n < 2 or series.points[-1].seq != latest.seq:
-            # The latest run did not report this metric (e.g. a run
-            # without --profile); there is nothing to judge.
+        if series.points[-1].seq != latest.seq:
+            # The latest run did not report this metric.  A degraded
+            # (failed-stage) run legitimately misses whole metric
+            # families, and judging only what happens to be present
+            # would silently shrink the ruleset — so put the absence on
+            # the record.  Machine-dependent metrics (wall clock,
+            # profile) are only noted when wall alerting is opted in:
+            # an unprofiled run after profiled ones is not a finding.
+            if series.machine_dependent and not config.include_wall:
+                continue
+            report.notes.append(AlertNote(
+                kind="missing_metric", metric=name,
+                detail=(
+                    f"reported by {series.n} baseline run(s) but absent "
+                    f"from latest run {latest.run_id}"
+                ),
+            ))
+            continue
+        if series.n < 2:
             continue
         if name.startswith("fidelity.") and not name.endswith(
                 (".passed", ".n_failed")):
@@ -239,9 +289,21 @@ def _check_fidelity_band(registry, latest, report: AlertReport) -> None:
     for entry in scorecard.get("entries") or []:
         if entry.get("passed", True):
             continue
-        value = float(entry.get("value", 0.0))
-        low = float(entry.get("low", 0.0))
-        high = float(entry.get("high", 1.0))
+        raw = (entry.get("value"), entry.get("low"), entry.get("high"))
+        if any(isinstance(v, bool) or not isinstance(v, (int, float, type(None)))
+               for v in raw) or raw[0] is None:
+            # A degraded run can leave unscorable entries (value None,
+            # string placeholders); note them instead of crashing the
+            # whole evaluation on float(None).
+            report.notes.append(AlertNote(
+                kind="unscorable_entry",
+                metric=f"fidelity.{entry.get('name')}",
+                detail=f"non-numeric scorecard entry {raw!r} skipped",
+            ))
+            continue
+        value = float(raw[0])
+        low = float(raw[1] if raw[1] is not None else 0.0)
+        high = float(raw[2] if raw[2] is not None else 1.0)
         report.alerts.append(Alert(
             rule="fidelity_band",
             metric=f"fidelity.{entry.get('name')}",
@@ -362,15 +424,14 @@ def write_alerts(path: str, report: AlertReport) -> str:
     """Write ``alerts.json``; ``path`` may be a directory or a file."""
     if os.path.isdir(path):
         path = os.path.join(path, ALERTS_FILENAME)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
-    return path
+    return atomic_write_json(path, report.to_dict())
 
 
 __all__ = [
     "ALERTS_FILENAME",
     "Alert",
     "AlertConfig",
+    "AlertNote",
     "AlertReport",
     "evaluate_alerts",
     "write_alerts",

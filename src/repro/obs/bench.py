@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.obs.manifest import git_describe
 from repro.obs.prof import StageProfiler
 from repro.obs.schemas import BENCH_SCHEMA
+from repro.util.fileio import atomic_write_json
 
 BENCH_FILENAME = "BENCH_pipeline.json"
 
@@ -203,10 +204,7 @@ def run_bench(rounds: Optional[int] = None, scale: float = 0.02,
 
 
 def write_bench(path: str, bench: dict) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(bench, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, bench, trailing_newline=True)
 
 
 def load_baseline(path: str) -> dict:

@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.util.fileio import atomic_write
 from repro.util.simtime import SimClock
 
 LEVELS = ("debug", "info", "warning", "error")
@@ -81,7 +82,7 @@ class EventLog:
         return dict(sorted(counts.items()))
 
     def export_jsonl(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_write(path) as handle:
             for event in self.events:
                 handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
 

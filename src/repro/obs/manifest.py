@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from repro.obs.schemas import MANIFEST_SCHEMA, config_hash
+from repro.util.fileio import atomic_write_json
 
 MANIFEST_FILENAME = "manifest.json"
 
@@ -124,9 +125,9 @@ def build_manifest(config, result, telemetry, command: Optional[List[str]] = Non
 def write_manifest(directory: str, manifest: dict) -> str:
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, MANIFEST_FILENAME)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-    return path
+    # Atomic so a run killed mid-export leaves either no manifest or a
+    # complete one — never a torn file `repro runs ingest` rejects.
+    return atomic_write_json(path, manifest)
 
 
 def load_manifest(directory: str) -> Optional[dict]:

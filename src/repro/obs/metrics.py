@@ -16,6 +16,7 @@ import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.schemas import METRICS_SCHEMA
+from repro.util.fileio import atomic_write_json
 
 _DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
@@ -281,8 +282,7 @@ class MetricsRegistry:
         }
 
     def write_json(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+        atomic_write_json(path, self.snapshot())
 
 
 class NullMetric:

@@ -44,6 +44,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     resource = None
 
 from repro.obs.schemas import PROFILE_SCHEMA
+from repro.util.fileio import atomic_write_json
 from repro.util.simtime import SimClock
 
 PROFILE_FILENAME = "profile.json"
@@ -368,8 +369,7 @@ class StageProfiler:
         }
 
     def export_json(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+        atomic_write_json(path, self.snapshot())
 
 
 class NullProfiler:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.obs.schemas import SCORECARD_SCHEMA
+from repro.util.fileio import atomic_write_json
 
 SCORECARD_FILENAME = "scorecard.json"
 
@@ -434,10 +435,7 @@ def write_scorecard(directory: str, scorecard: Scorecard) -> str:
     """Write ``scorecard.json`` (byte-identical across same-seed runs)."""
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, SCORECARD_FILENAME)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(scorecard.to_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, scorecard.to_dict(), trailing_newline=True)
 
 
 def load_scorecard(directory: str) -> Optional[dict]:

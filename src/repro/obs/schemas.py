@@ -43,6 +43,9 @@ REGISTRY_SCHEMA = "repro.run-registry/v1"
 TRENDS_SCHEMA = "repro.trend-series/v1"
 #: ``alerts.json`` — deterministic anomaly alerts (:mod:`repro.obs.alerts`).
 ALERTS_SCHEMA = "repro.alerts/v1"
+#: ``ledger.jsonl`` header — the monitor daemon's durable schedule
+#: ledger (:mod:`repro.monitor.ledger`).
+MONITOR_LEDGER_SCHEMA = "repro.monitor-ledger/v1"
 
 #: Every schema id this codebase knows how to read or write.
 KNOWN_SCHEMAS = frozenset({
@@ -56,6 +59,7 @@ KNOWN_SCHEMAS = frozenset({
     REGISTRY_SCHEMA,
     TRENDS_SCHEMA,
     ALERTS_SCHEMA,
+    MONITOR_LEDGER_SCHEMA,
 })
 
 #: Telemetry-dir artifact file -> the schema id its contents must carry.
@@ -138,6 +142,7 @@ __all__ = [
     "KNOWN_SCHEMAS",
     "MANIFEST_SCHEMA",
     "METRICS_SCHEMA",
+    "MONITOR_LEDGER_SCHEMA",
     "PROFILE_SCHEMA",
     "REGISTRY_SCHEMA",
     "SCORECARD_SCHEMA",

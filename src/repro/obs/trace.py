@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.util.fileio import atomic_write
 from repro.util.simtime import SimClock
 
 
@@ -140,7 +141,7 @@ class SpanTracer:
         return stage_summary(self.spans)
 
     def export_jsonl(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_write(path) as handle:
             for span in self.spans:
                 handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
 

@@ -5,6 +5,7 @@ Everything in :mod:`repro` that needs randomness draws it from an
 analysis run is reproducible from a single root seed.
 """
 
+from repro.util.fileio import atomic_write, atomic_write_json, atomic_write_text
 from repro.util.money import Money, format_usd
 from repro.util.rng import RngTree
 from repro.util.simtime import CollectionCalendar, SimClock, SimDate
@@ -17,6 +18,9 @@ __all__ = [
     "SimClock",
     "SimDate",
     "Summary",
+    "atomic_write",
+    "atomic_write_json",
+    "atomic_write_text",
     "cdf_points",
     "format_usd",
     "median",

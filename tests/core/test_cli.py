@@ -136,3 +136,53 @@ class TestFigures:
     def test_export_missing_run_fails(self, tmp_path):
         assert main(["figures", str(tmp_path / "nope"), "--out",
                      str(tmp_path / "o")]) == 1
+
+
+class TestRunInterrupted:
+    def test_sigint_marks_partial_and_exits_130(self, tmp_path, monkeypatch,
+                                                capsys):
+        # Deliver a real SIGINT mid-study: the CLI's handler must raise,
+        # the meta file must carry the "partial": "interrupted" marker,
+        # and the exit code must be the conventional 128+SIGINT.
+        import signal
+
+        from repro.core import pipeline
+
+        original_build = pipeline.WorldBuilder.build
+
+        def build_then_interrupt(self):
+            os.kill(os.getpid(), signal.SIGINT)
+            return original_build(self)  # handler fires before this returns
+
+        monkeypatch.setattr(pipeline.WorldBuilder, "build",
+                            build_then_interrupt)
+        out_dir = str(tmp_path / "run")
+        code = main(["run", "--scale", "0.02", "--iterations", "2",
+                     "--seed", "7", "--out", out_dir])
+        assert code == 130
+        assert "interrupted by signal" in capsys.readouterr().err
+        with open(os.path.join(out_dir, "study_meta.json")) as handle:
+            meta = json.load(handle)
+        assert meta["partial"] == "interrupted"
+        assert meta["signal"] == signal.SIGINT
+        # No dataset files: the run dir is visibly incomplete.
+        assert not os.path.exists(os.path.join(out_dir, "listings.jsonl"))
+
+    def test_previous_handler_restored(self, tmp_path, monkeypatch):
+        import signal
+
+        from repro.core import pipeline
+
+        sentinel = lambda signum, frame: None
+        previous = signal.signal(signal.SIGINT, sentinel)
+        try:
+            monkeypatch.setattr(
+                pipeline.WorldBuilder, "build",
+                lambda self: (_ for _ in ()).throw(RuntimeError("stop")),
+            )
+            with pytest.raises(RuntimeError):
+                main(["run", "--scale", "0.02", "--iterations", "2",
+                      "--out", str(tmp_path / "run")])
+            assert signal.getsignal(signal.SIGINT) is sentinel
+        finally:
+            signal.signal(signal.SIGINT, previous)

@@ -1,0 +1,130 @@
+"""Per-cycle supervision: retries, typed faults, the failure circuit."""
+
+import pytest
+
+from repro.monitor.ledger import ScheduleLedger
+from repro.monitor.supervisor import (
+    CycleFault,
+    CyclePolicy,
+    CycleSupervisor,
+    DegradedCycleFault,
+    InjectedCycleFault,
+    classify_failure,
+)
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return ScheduleLedger.open(str(tmp_path / "ledger.jsonl"), "h")
+
+
+def entries(ledger, status=None):
+    return [e for e in ledger.entries
+            if status is None or e.get("status") == status]
+
+
+class TestRunCycle:
+    def test_success_first_attempt(self, ledger):
+        supervisor = CycleSupervisor(ledger)
+        outcome = supervisor.run_cycle(0, lambda attempt: {"run_id": "r"})
+        assert outcome.ok
+        assert outcome.attempts == 1
+        assert outcome.info == {"run_id": "r"}
+        (ingested,) = entries(ledger, "ingested")
+        assert ingested["run_id"] == "r"
+        assert ingested["attempts"] == 1
+
+    def test_transient_error_retries_with_backoff(self, ledger):
+        slept = []
+        supervisor = CycleSupervisor(
+            ledger, CyclePolicy(max_attempts=3, backoff_seconds=10.0),
+            sleep=slept.append,
+        )
+        calls = []
+
+        def body(attempt):
+            calls.append(attempt)
+            if attempt < 3:
+                raise RuntimeError("flaky")
+            return {}
+
+        outcome = supervisor.run_cycle(0, body)
+        assert outcome.ok
+        assert calls == [1, 2, 3]
+        assert slept == [10.0, 20.0]  # exponential
+        runnings = entries(ledger, "running")
+        assert [r["attempt"] for r in runnings] == [1, 2, 3]
+        assert runnings[1]["backoff_sim_seconds"] == 10.0
+        assert runnings[2]["backoff_sim_seconds"] == 20.0
+
+    def test_exhausted_attempts_record_failed(self, ledger):
+        supervisor = CycleSupervisor(ledger, CyclePolicy(max_attempts=2))
+
+        def body(_attempt):
+            raise ValueError("still broken")
+
+        outcome = supervisor.run_cycle(0, body)
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.reason == "error:ValueError"
+        (failed,) = entries(ledger, "failed")
+        assert failed["reason"] == "error:ValueError"
+        assert failed["detail"] == "still broken"
+
+    def test_deterministic_fault_not_retried(self, ledger):
+        supervisor = CycleSupervisor(ledger, CyclePolicy(max_attempts=3))
+        calls = []
+
+        def body(attempt):
+            calls.append(attempt)
+            raise DegradedCycleFault("anatomy degraded")
+
+        outcome = supervisor.run_cycle(0, body)
+        assert not outcome.ok
+        assert calls == [1]  # no pointless retries
+        assert outcome.reason == "degraded"
+
+    def test_body_none_result_is_empty_info(self, ledger):
+        supervisor = CycleSupervisor(ledger)
+        outcome = supervisor.run_cycle(0, lambda attempt: None)
+        assert outcome.ok
+        assert outcome.info == {}
+
+
+class TestCircuit:
+    def test_consecutive_failures_open_circuit(self, ledger):
+        supervisor = CycleSupervisor(
+            ledger, CyclePolicy(max_attempts=1, max_consecutive_failures=2),
+        )
+
+        def bad(_attempt):
+            raise RuntimeError("boom")
+
+        supervisor.run_cycle(0, bad)
+        assert not supervisor.circuit_open
+        supervisor.run_cycle(1, bad)
+        assert supervisor.circuit_open
+
+    def test_success_resets_counter(self, ledger):
+        supervisor = CycleSupervisor(
+            ledger, CyclePolicy(max_attempts=1, max_consecutive_failures=2),
+        )
+
+        def bad(_attempt):
+            raise RuntimeError("boom")
+
+        supervisor.run_cycle(0, bad)
+        supervisor.run_cycle(1, lambda attempt: {})
+        assert supervisor.consecutive_failures == 0
+        supervisor.run_cycle(2, bad)
+        assert not supervisor.circuit_open
+
+
+class TestClassification:
+    def test_typed_faults(self):
+        assert classify_failure(InjectedCycleFault("x")) == "injected"
+        assert classify_failure(DegradedCycleFault("x")) == "degraded"
+        assert classify_failure(CycleFault("x")) == "fault"
+
+    def test_plain_exceptions(self):
+        assert classify_failure(KeyError("k")) == "error:KeyError"

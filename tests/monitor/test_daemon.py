@@ -1,0 +1,185 @@
+"""Daemon control flow on the cheap paths — recovery, catch-up,
+circuit, lock contention, signals — driven through hooks that fail
+cycles before any pipeline work starts, so no study ever runs here.
+(The full-pipeline behavior lives in tests/integration/test_monitor_soak.py.)
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.monitor.daemon import (
+    EXIT_CIRCUIT,
+    EXIT_OK,
+    EXIT_SIGNAL,
+    EXIT_STATE_ERROR,
+    MonitorConfig,
+    MonitorDaemon,
+)
+from repro.monitor.ledger import LEDGER_FILENAME, ScheduleLedger
+from repro.monitor.lock import LOCK_FILENAME
+
+
+def make_daemon(tmp_path, hooks=None, **overrides):
+    config = MonitorConfig(
+        state_dir=str(tmp_path / "state"),
+        cycles=overrides.pop("cycles", 1),
+        scale=0.01,
+        iterations=2,
+        include_underground=False,
+        **overrides,
+    )
+    return MonitorDaemon(config, printer=lambda line: None, hooks=hooks)
+
+
+def seed_torn_ledger(daemon, cycle=0):
+    """A ledger whose last word on ``cycle`` is ``running`` — the
+    signature of a SIGKILL mid-cycle — plus a partial run dir."""
+    os.makedirs(daemon.config.state_dir, exist_ok=True)
+    ledger = ScheduleLedger.open(daemon.ledger_path,
+                                 daemon.config.config_hash())
+    ledger.append({"cycle": cycle, "status": "planned",
+                   "scheduled_sim": 0.0})
+    ledger.append({"cycle": cycle, "status": "running", "attempt": 1})
+    partial = daemon.cycle_dir(cycle)
+    os.makedirs(partial)
+    with open(os.path.join(partial, "metrics.json"), "w") as handle:
+        handle.write("{}")
+    return ledger
+
+
+class FailEveryCycle(RuntimeError):
+    pass
+
+
+def failing_hooks():
+    def explode(_cycle, _attempt):
+        raise FailEveryCycle("deploy is broken")
+
+    return {"cycle_start": explode}
+
+
+class TestRecovery:
+    def test_catch_up_skip_quarantines_and_skips(self, tmp_path):
+        daemon = make_daemon(tmp_path, catch_up="skip")
+        seed_torn_ledger(daemon)
+        assert daemon.run() == EXIT_OK
+        ledger = ScheduleLedger.read(daemon.ledger_path)
+        statuses = [e["status"] for e in ledger.entries]
+        assert statuses == ["planned", "running", "quarantined", "skipped"]
+        state = ledger.cycle_states()[0]
+        assert state.status == "skipped"
+        assert state.detail["reason"] == "catch_up"
+        # The partial run dir moved into quarantine/, out of cycles/.
+        assert not os.path.exists(daemon.cycle_dir(0))
+        quarantined = os.path.join(daemon.config.state_dir, "quarantine",
+                                   "cycle-000000")
+        assert os.path.exists(os.path.join(quarantined, "metrics.json"))
+
+    def test_catch_up_run_replans_torn_cycle(self, tmp_path):
+        daemon = make_daemon(tmp_path, catch_up="run",
+                             hooks=failing_hooks(),
+                             max_attempts=1, max_consecutive_failures=5)
+        seed_torn_ledger(daemon)
+        assert daemon.run() == EXIT_OK  # one failed cycle < circuit
+        ledger = ScheduleLedger.read(daemon.ledger_path)
+        statuses = [e["status"] for e in ledger.entries]
+        assert statuses == ["planned", "running", "quarantined",
+                            "planned", "running", "failed"]
+        assert not os.path.exists(daemon.cycle_dir(0))
+
+    def test_double_quarantine_keeps_both_dirs(self, tmp_path):
+        daemon = make_daemon(tmp_path, catch_up="skip")
+        seed_torn_ledger(daemon)
+        assert daemon.run() == EXIT_OK
+        # A second torn epoch for a different cycle quarantines next to
+        # the first cycle's dir without clobbering anything.
+        ledger = ScheduleLedger.open(daemon.ledger_path,
+                                     daemon.config.config_hash())
+        ledger.append({"cycle": 0, "status": "planned",
+                       "scheduled_sim": 0.0})
+        ledger.append({"cycle": 0, "status": "running", "attempt": 1})
+        os.makedirs(daemon.cycle_dir(0))
+        daemon2 = make_daemon(tmp_path, catch_up="skip")
+        assert daemon2.run() == EXIT_OK
+        quarantine_root = os.path.join(daemon.config.state_dir,
+                                       "quarantine")
+        assert sorted(os.listdir(quarantine_root)) == [
+            "cycle-000000", "cycle-000000.2",
+        ]
+
+
+class TestCircuit:
+    def test_consecutive_failures_exit_4(self, tmp_path):
+        daemon = make_daemon(tmp_path, cycles=5, hooks=failing_hooks(),
+                             max_attempts=1, max_consecutive_failures=2)
+        assert daemon.run() == EXIT_CIRCUIT
+        ledger = ScheduleLedger.read(daemon.ledger_path)
+        # Stopped after the second failure; cycles 2+ never planned.
+        assert ledger.terminal_cycles("failed") == [0, 1]
+        assert 2 not in ledger.cycle_states()
+
+    def test_failed_entries_typed(self, tmp_path):
+        daemon = make_daemon(tmp_path, cycles=1, hooks=failing_hooks(),
+                             max_attempts=2, max_consecutive_failures=5)
+        assert daemon.run() == EXIT_OK
+        ledger = ScheduleLedger.read(daemon.ledger_path)
+        (failed,) = [e for e in ledger.entries
+                     if e["status"] == "failed"]
+        assert failed["reason"] == "error:FailEveryCycle"
+        assert failed["attempts"] == 2
+
+
+class TestLockAndState:
+    def test_live_foreign_lock_exits_2(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        os.makedirs(daemon.config.state_dir)
+        with open(os.path.join(daemon.config.state_dir, LOCK_FILENAME),
+                  "w") as handle:
+            handle.write("4242\n")
+        daemon.pid_alive = lambda pid: True
+        assert daemon.run() == EXIT_STATE_ERROR
+
+    def test_foreign_config_hash_exits_2(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        os.makedirs(daemon.config.state_dir)
+        ScheduleLedger.open(
+            os.path.join(daemon.config.state_dir, LEDGER_FILENAME),
+            "someone-elses-series",
+        )
+        assert daemon.run() == EXIT_STATE_ERROR
+        # The failed session must not leave its lock behind.
+        assert not os.path.exists(
+            os.path.join(daemon.config.state_dir, LOCK_FILENAME)
+        )
+
+
+class TestSignals:
+    def test_stop_requested_before_first_cycle(self, tmp_path):
+        daemon = make_daemon(tmp_path, cycles=3)
+        daemon.stop_requested = True
+        assert daemon.run() == EXIT_SIGNAL
+        ledger = ScheduleLedger.read(daemon.ledger_path)
+        assert ledger.entries == []  # header only; nothing planned
+
+    def test_second_signal_aborts_cycle(self, tmp_path):
+        def signal_twice(_cycle, _attempt):
+            daemon._on_signal(signal.SIGTERM, None)
+            daemon._on_signal(signal.SIGTERM, None)  # raises MonitorAbort
+
+        daemon = make_daemon(tmp_path, cycles=3,
+                             hooks={"cycle_start": signal_twice})
+        assert daemon.run() == EXIT_SIGNAL
+        ledger = ScheduleLedger.read(daemon.ledger_path)
+        (failed,) = [e for e in ledger.entries if e["status"] == "failed"]
+        assert failed["reason"] == "interrupted"
+        # Aborted mid-flight: the lock is still released.
+        assert not os.path.exists(
+            os.path.join(daemon.config.state_dir, LOCK_FILENAME)
+        )
+
+    def test_first_signal_sets_flag_only(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        daemon._on_signal(signal.SIGINT, None)
+        assert daemon.stop_requested

@@ -1,0 +1,78 @@
+"""The state-dir lock: exclusivity, stale-owner reclamation."""
+
+import os
+
+import pytest
+
+from repro.monitor.errors import LockError
+from repro.monitor.lock import StateLock, default_pid_alive
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "monitor.lock")
+
+
+class TestStateLock:
+    def test_acquire_writes_pid(self, path):
+        with StateLock(path) as lock:
+            assert lock.held
+            assert int(open(path).read().strip()) == os.getpid()
+        assert not os.path.exists(path)
+
+    def test_live_foreign_owner_refuses(self, path):
+        with open(path, "w") as handle:
+            handle.write("12345\n")
+        lock = StateLock(path, pid_alive=lambda pid: True)
+        with pytest.raises(LockError, match="pid 12345"):
+            lock.acquire()
+        # The foreign lock file must be untouched.
+        assert int(open(path).read().strip()) == 12345
+
+    def test_dead_owner_reclaimed(self, path):
+        with open(path, "w") as handle:
+            handle.write("12345\n")
+        lock = StateLock(path, pid_alive=lambda pid: False)
+        lock.acquire()
+        assert int(open(path).read().strip()) == os.getpid()
+        lock.release()
+
+    def test_own_pid_reclaimed(self, path):
+        # An in-process restart (the soak drill) finds its own pid in
+        # the lock file left by the killed incarnation.
+        with open(path, "w") as handle:
+            handle.write(f"{os.getpid()}\n")
+        lock = StateLock(path, pid_alive=lambda pid: True)
+        lock.acquire()
+        assert lock.held
+        lock.release()
+
+    def test_unreadable_payload_reclaimed(self, path):
+        with open(path, "w") as handle:
+            handle.write("not-a-pid\n")
+        lock = StateLock(path, pid_alive=lambda pid: True)
+        lock.acquire()
+        assert lock.held
+        lock.release()
+
+    def test_release_idempotent(self, path):
+        lock = StateLock(path).acquire()
+        lock.release()
+        lock.release()  # second release is a no-op
+        assert not os.path.exists(path)
+
+    def test_release_without_acquire_is_noop(self, path):
+        StateLock(path).release()
+
+
+class TestDefaultPidAlive:
+    def test_own_pid_is_alive(self):
+        assert default_pid_alive(os.getpid())
+
+    def test_nonpositive_pids_dead(self):
+        assert not default_pid_alive(0)
+        assert not default_pid_alive(-1)
+
+    def test_unlikely_pid_dead(self):
+        # Linux default pid_max is 4194304; this exceeds it.
+        assert not default_pid_alive(2 ** 23)

@@ -1,0 +1,118 @@
+"""Retention: bounded disk, never deleting un-ingested evidence."""
+
+import os
+
+import pytest
+
+from repro.monitor.ledger import ScheduleLedger
+from repro.monitor.retention import RetentionPolicy, apply_retention, dir_bytes
+
+
+@pytest.fixture()
+def state(tmp_path):
+    ledger = ScheduleLedger.open(str(tmp_path / "ledger.jsonl"), "h")
+
+    def cycle_dir(cycle):
+        return str(tmp_path / "cycles" / f"cycle-{cycle:06d}")
+
+    def make_cycle(cycle, status="ingested", payload_bytes=100):
+        os.makedirs(cycle_dir(cycle), exist_ok=True)
+        with open(os.path.join(cycle_dir(cycle), "blob.bin"), "wb") as f:
+            f.write(b"x" * payload_bytes)
+        ledger.append({"cycle": cycle, "status": "planned"})
+        ledger.append({"cycle": cycle, "status": "running", "attempt": 1})
+        ledger.append({"cycle": cycle, "status": status, "attempts": 1})
+
+    return ledger, cycle_dir, make_cycle
+
+
+class TestKeepRuns:
+    def test_oldest_ingested_retired_first(self, state):
+        ledger, cycle_dir, make_cycle = state
+        for cycle in range(4):
+            make_cycle(cycle)
+        retired = apply_retention(ledger, RetentionPolicy(keep_runs=2),
+                                  cycle_dir)
+        assert retired == [0, 1]
+        assert not os.path.exists(cycle_dir(0))
+        assert not os.path.exists(cycle_dir(1))
+        assert os.path.exists(cycle_dir(2))
+        assert os.path.exists(cycle_dir(3))
+        assert ledger.live_ingested_cycles() == [2, 3]
+
+    def test_failed_dirs_never_deleted(self, state):
+        ledger, cycle_dir, make_cycle = state
+        make_cycle(0, status="failed")
+        make_cycle(1)
+        make_cycle(2)
+        make_cycle(3)
+        retired = apply_retention(ledger, RetentionPolicy(keep_runs=1),
+                                  cycle_dir)
+        assert retired == [1, 2]
+        assert os.path.exists(cycle_dir(0))  # failed = evidence, kept
+
+    def test_newest_always_kept(self, state):
+        ledger, cycle_dir, make_cycle = state
+        make_cycle(0)
+        retired = apply_retention(ledger, RetentionPolicy(keep_runs=0),
+                                  cycle_dir)
+        assert retired == []
+        assert os.path.exists(cycle_dir(0))
+
+    def test_disabled_policy_is_noop(self, state):
+        ledger, cycle_dir, make_cycle = state
+        for cycle in range(3):
+            make_cycle(cycle)
+        assert apply_retention(ledger, RetentionPolicy(), cycle_dir) == []
+        assert ledger.live_ingested_cycles() == [0, 1, 2]
+
+    def test_idempotent(self, state):
+        ledger, cycle_dir, make_cycle = state
+        for cycle in range(3):
+            make_cycle(cycle)
+        apply_retention(ledger, RetentionPolicy(keep_runs=2), cycle_dir)
+        again = apply_retention(ledger, RetentionPolicy(keep_runs=2),
+                                cycle_dir)
+        assert again == []
+
+
+class TestMaxBytes:
+    def test_retires_until_under_budget(self, state):
+        ledger, cycle_dir, make_cycle = state
+        for cycle in range(4):
+            make_cycle(cycle, payload_bytes=1000)
+        retired = apply_retention(
+            ledger, RetentionPolicy(max_bytes=2500), cycle_dir,
+        )
+        assert retired == [0, 1]
+        assert ledger.live_ingested_cycles() == [2, 3]
+
+    def test_keeps_newest_even_over_budget(self, state):
+        ledger, cycle_dir, make_cycle = state
+        make_cycle(0, payload_bytes=1000)
+        make_cycle(1, payload_bytes=1000)
+        retired = apply_retention(
+            ledger, RetentionPolicy(max_bytes=10), cycle_dir,
+        )
+        assert retired == [0]
+        assert os.path.exists(cycle_dir(1))
+
+    def test_ledger_entries_carry_no_byte_counts(self, state):
+        ledger, cycle_dir, make_cycle = state
+        make_cycle(0, payload_bytes=1000)
+        make_cycle(1, payload_bytes=1000)
+        apply_retention(ledger, RetentionPolicy(max_bytes=10), cycle_dir)
+        retired_entries = [e for e in ledger.entries
+                           if e.get("status") == "retired"]
+        assert retired_entries == [{"cycle": 0, "status": "retired"}]
+
+
+class TestDirBytes:
+    def test_counts_recursively(self, tmp_path):
+        os.makedirs(str(tmp_path / "a" / "b"))
+        open(str(tmp_path / "a" / "x.bin"), "wb").write(b"12345")
+        open(str(tmp_path / "a" / "b" / "y.bin"), "wb").write(b"123")
+        assert dir_bytes(str(tmp_path / "a")) == 8
+
+    def test_missing_dir_is_zero(self, tmp_path):
+        assert dir_bytes(str(tmp_path / "nope")) == 0

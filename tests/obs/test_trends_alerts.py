@@ -277,6 +277,98 @@ class TestAlertRules:
         assert report.runs_considered == 4
 
 
+class TestDegradedLatestRun:
+    """A degraded (failed-stage) latest run misses whole metric
+    families and can carry unscorable scorecard entries; evaluation
+    must note the absences, judge what remains, and never crash."""
+
+    def _degraded_document(self):
+        document = make_document(stages=("bootstrap",))
+        document["scorecard"] = {
+            "passed": False,
+            "n_entries": 2,
+            "n_failed": 2,
+            "entries": [
+                {"name": "calib_efficacy_rate", "kind": "calibration",
+                 "value": None, "low": 0.5, "high": 0.9, "passed": False},
+                {"name": "gt_anatomy", "kind": "ground_truth",
+                 "value": "degraded", "low": None, "high": None,
+                 "passed": False},
+            ],
+        }
+        document["contracts"] = None
+        document["stage_failures"] = [
+            {"stage": "anatomy", "kind": "injected", "detail": "drill"},
+        ]
+        return document
+
+    def test_degraded_latest_does_not_crash(self, registry):
+        ingest_n(registry, 3)
+        registry.ingest_document(self._degraded_document(),
+                                 run_id="degraded")
+        report = evaluate_alerts(registry)  # must not raise
+        assert report.run_id == "degraded"
+
+    def test_missing_metrics_become_notes(self, registry):
+        ingest_n(registry, 3)
+        registry.ingest_document(self._degraded_document(),
+                                 run_id="degraded")
+        report = evaluate_alerts(registry)
+        noted = {note.metric for note in report.notes
+                 if note.kind == "missing_metric"}
+        assert "stage_sim_seconds.iteration_crawl" in noted
+        assert "contracts.coverage" in noted
+        assert "fidelity.calib_efficacy_rate" in noted
+        # Wall metrics are machine-dependent: absence is not a finding
+        # unless wall alerting was opted into.
+        assert not any(m.startswith("stage_wall_seconds.") for m in noted)
+        wall_report = evaluate_alerts(registry,
+                                      AlertConfig(include_wall=True))
+        wall_noted = {note.metric for note in wall_report.notes
+                      if note.kind == "missing_metric"}
+        assert "stage_wall_seconds.iteration_crawl" in wall_noted
+
+    def test_unscorable_entries_become_notes(self, registry):
+        ingest_n(registry, 3)
+        registry.ingest_document(self._degraded_document(),
+                                 run_id="degraded")
+        report = evaluate_alerts(registry)
+        unscorable = {note.metric for note in report.notes
+                      if note.kind == "unscorable_entry"}
+        assert unscorable == {"fidelity.calib_efficacy_rate",
+                              "fidelity.gt_anatomy"}
+        # None of the unscorable entries fired the crashy band rule.
+        assert not any(a.rule == "fidelity_band" for a in report.alerts)
+
+    def test_surviving_metrics_still_judged(self, registry):
+        ingest_n(registry, 3)
+        document = self._degraded_document()
+        document["crawl"]["error_rate"] = 0.30
+        document["crawl"]["errors_total"] = 150
+        registry.ingest_document(document, run_id="degraded")
+        report = evaluate_alerts(registry)
+        assert "error_rate_spike" in {a.rule for a in report.alerts}
+
+    def test_notes_serialized_and_rendered(self, registry):
+        ingest_n(registry, 3)
+        registry.ingest_document(self._degraded_document(),
+                                 run_id="degraded")
+        report = evaluate_alerts(registry)
+        document = report.to_dict()
+        assert document["notes"]
+        assert all(set(note) == {"kind", "metric", "detail"}
+                   for note in document["notes"])
+        text = report.render_text()
+        assert "[note] missing_metric" in text
+        assert "[note] unscorable_entry" in text
+
+    def test_healthy_history_has_no_notes(self, registry):
+        ingest_n(registry, 4)
+        report = evaluate_alerts(registry)
+        assert report.notes == []
+        assert "[note]" not in report.render_text()
+
+
 class TestAlertReport:
     def test_events_emitted(self, registry):
         ingest_n(registry, 4)

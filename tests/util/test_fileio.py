@@ -1,0 +1,87 @@
+"""Atomic file writes: tmp + rename, no torn artifacts, tmp cleanup."""
+
+import json
+import os
+
+import pytest
+
+from repro.util.fileio import atomic_write, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("hello")
+        assert open(path).read() == "hello"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("x")
+        assert os.path.exists(path)
+
+    def test_replaces_existing(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("first")
+        with atomic_write(path) as handle:
+            handle.write("second")
+        assert open(path).read() == "second"
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("ok")
+        assert os.listdir(str(tmp_path)) == ["out.txt"]
+
+    def test_error_leaves_old_content_and_no_tmp(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial")
+                raise RuntimeError("mid-write crash")
+        assert open(path).read() == "original"
+        assert os.listdir(str(tmp_path)) == ["out.txt"]
+
+    def test_fsync_path(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path, fsync=True) as handle:
+            handle.write("durable")
+        assert open(path).read() == "durable"
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        written = atomic_write_json(path, {"b": 2, "a": 1})
+        assert written == path
+        assert json.load(open(path)) == {"a": 1, "b": 2}
+
+    def test_sorted_keys_by_default(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"z": 1, "a": 2})
+        raw = open(path).read()
+        assert raw.index('"a"') < raw.index('"z"')
+
+    def test_trailing_newline_opt_in(self, tmp_path):
+        bare = str(tmp_path / "bare.json")
+        atomic_write_json(bare, {})
+        assert not open(bare).read().endswith("\n")
+        ended = str(tmp_path / "ended.json")
+        atomic_write_json(ended, {}, trailing_newline=True)
+        assert open(ended).read().endswith("\n")
+
+    def test_compact_mode(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"a": [1, 2]}, indent=None, sort_keys=False)
+        assert "\n" not in open(path).read()
+
+
+class TestAtomicWriteText:
+    def test_writes_text(self, tmp_path):
+        path = str(tmp_path / "note.txt")
+        assert atomic_write_text(path, "line\n") == path
+        assert open(path).read() == "line\n"
