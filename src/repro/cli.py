@@ -34,6 +34,11 @@ Commands
     run's.
 ``archive verify``
     Re-hash every index and blob in an archive; exit 2 on corruption.
+``data verify|stats``
+    Inspect the crash-safe segmented dataset store (``run --store-dir``):
+    ``verify`` re-hashes every sealed segment against its footer and the
+    manifest and exits 2 on any mismatch; ``stats`` prints record
+    counts, segment totals, and degradation markers.
 ``archive diff``
     Per-marketplace offer-page churn between two archived iterations.
 ``runs ingest|list|show|trends|alerts``
@@ -87,6 +92,8 @@ from repro.contracts import (
 )
 from repro.core import MeasurementDataset, Study, StudyConfig
 from repro.core import reports
+from repro.faults import PROFILES
+from repro.faults.disk import DiskWriteError
 from repro.marketplaces.channels import CHANNELS
 from repro.obs import (
     BENCH_FILENAME,
@@ -126,6 +133,13 @@ from repro.monitor import (
     render_status,
 )
 from repro.obs.report_html import REPORT_FILENAME
+from repro.store import (
+    StoreError,
+    StoreReader,
+    is_store_dir,
+    load_dataset,
+    save_dataset,
+)
 from repro.util.fileio import atomic_write_json
 
 META_FILENAME = "study_meta.json"
@@ -345,17 +359,64 @@ def cmd_run(args: argparse.Namespace) -> int:
         },
         "simulated_seconds": result.simulated_seconds,
     }
+    store_report = None
+    if getattr(args, "store_dir", None):
+        # The segmented durable store.  The study's disk-fault injector
+        # (if chaos is on) carries over, so an ENOSPC byte budget spans
+        # checkpoints and this save — one disk, one budget.  A full disk
+        # is graceful degradation: the flushed prefix is sealed, the
+        # run is marked partial, and the exit stays 0 — losing tail
+        # records beats losing the run.
+        try:
+            store_report = save_dataset(
+                result.dataset, args.store_dir,
+                faults=result.disk_faults, telemetry=telemetry,
+            )
+        except DiskWriteError as exc:
+            print(f"store save failed: {exc}", file=sys.stderr)
+            atomic_write_json(os.path.join(args.out, META_FILENAME),
+                              dict(meta, partial="disk_error"))
+            return 1
+        if store_report.partial:
+            meta["partial"] = store_report.partial
+            dropped = sum(store_report.dropped.values())
+            print(
+                f"disk full while saving the store: flushed "
+                f"{store_report.counts}, dropped {dropped} record(s); "
+                f"run marked partial:{store_report.partial}",
+                file=sys.stderr,
+            )
     atomic_write_json(os.path.join(args.out, META_FILENAME), meta)
+    if store_report is not None:
+        # Mirror the meta beside the manifest so the store dir is a
+        # self-describing run artifact: report/figures take the
+        # payment-methods and per-iteration series from meta, not from
+        # the record streams.
+        atomic_write_json(
+            os.path.join(args.store_dir, META_FILENAME), meta
+        )
     _export_telemetry(args, config, result, telemetry)
     print(f"saved run to {args.out}: {result.dataset.summary()}")
+    if store_report is not None:
+        print(f"store written to {args.store_dir}: {store_report.counts}")
     return 0
+
+
+def _load_run_dataset(run_dir: str,
+                      quarantine: Optional[QuarantineStore] = None
+                      ) -> MeasurementDataset:
+    """Load a saved run from either layout: a segmented store
+    (``run --store-dir``) or flat per-type JSONL files."""
+    if is_store_dir(run_dir):
+        return load_dataset(run_dir, quarantine=quarantine)
+    return MeasurementDataset.load(run_dir, quarantine=quarantine)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     # Tolerant load: corrupt JSONL lines (e.g. a truncated final line
     # after a SIGKILL) are quarantined and reported, not fatal.
     store = QuarantineStore()
-    dataset = MeasurementDataset.load(args.run_dir, quarantine=store)
+    dataset = _load_run_dataset(args.run_dir, quarantine=store)
     if store.total:
         print(
             f"warning: skipped {store.total} corrupt dataset line(s): "
@@ -502,7 +563,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.core.export import export_figures
 
-    dataset = MeasurementDataset.load(args.run_dir)
+    dataset = _load_run_dataset(args.run_dir)
     if not dataset.listings:
         print(f"no dataset found in {args.run_dir}", file=sys.stderr)
         return 1
@@ -715,6 +776,70 @@ def cmd_runs_alerts(args: argparse.Namespace) -> int:
     return 1 if report.fired else 0
 
 
+def cmd_data_verify(args: argparse.Namespace) -> int:
+    if not is_store_dir(args.store_dir):
+        print(f"{args.store_dir} is not a segmented dataset store",
+              file=sys.stderr)
+        return 2
+    try:
+        reader = StoreReader.open(args.store_dir)
+        problems = reader.verify()
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(
+            f"store {args.store_dir} is CORRUPT: "
+            f"{len(problems)} problem(s)",
+            file=sys.stderr,
+        )
+        return 2
+    counts = reader.counts()
+    total = sum(counts.values())
+    segments = len(reader.manifest.get("segments", [])) \
+        if reader.manifest else 0
+    line = (
+        f"store {args.store_dir} verified: {total} record(s) across "
+        f"{segments} sealed segment(s)"
+    )
+    if reader.recovered_tails:
+        line += f", {reader.recovered_tails} torn tail(s) recovered"
+    if reader.partial:
+        line += f" [partial:{reader.partial}]"
+    print(line)
+    return 0
+
+
+def cmd_data_stats(args: argparse.Namespace) -> int:
+    if not is_store_dir(args.store_dir):
+        print(f"{args.store_dir} is not a segmented dataset store",
+              file=sys.stderr)
+        return 2
+    try:
+        reader = StoreReader.open(args.store_dir)
+        counts = reader.counts()
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    manifest = reader.manifest or {}
+    sealed = manifest.get("segments", [])
+    print(f"store: {args.store_dir}")
+    print(f"sealed: {manifest.get('sealed', False)}"
+          + (f"  partial: {manifest['partial']}"
+             if manifest.get("partial") else ""))
+    print(f"segments: {len(sealed)} sealed, "
+          f"{sum(e['bytes'] for e in sealed):,} record bytes")
+    for record_type, count in counts.items():
+        print(f"  {record_type}: {count} record(s)")
+    if reader.recovered_tails:
+        print(f"recovered tails: {reader.recovered_tails}")
+    if reader.quarantined_segments:
+        print(f"quarantined segments: {reader.quarantined_segments}")
+    return 0
+
+
 def cmd_monitor_run(args: argparse.Namespace) -> int:
     configure_logging(getattr(args, "log_level", "warning"))
     if not args.forever and args.cycles is None:
@@ -766,10 +891,13 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-underground", action="store_true",
                         help="skip the Tor-forum manual collection")
     parser.add_argument("--chaos", default="off",
-                        choices=["off", "light", "moderate", "heavy"],
-                        help="inject seeded faults (outages, 5xx bursts, "
-                             "hangs, 429 storms, corrupt pages) at the "
-                             "named intensity")
+                        choices=list(PROFILES),
+                        help="inject seeded faults at the named intensity: "
+                             "off/light/moderate/heavy hit the network "
+                             "(outages, 5xx bursts, hangs, 429 storms, "
+                             "corrupt pages); disk/disk_full hit storage "
+                             "(ENOSPC, torn writes, fsync failure, bit "
+                             "flips)")
     parser.add_argument("--log-level", default="warning",
                         choices=["debug", "info", "warning", "error"],
                         help="logging verbosity for the repro logger")
@@ -812,6 +940,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="archive every HTTP exchange into a "
                                  "content-addressed store here; replay "
                                  "later with 'repro replay DIR'")
+    run_parser.add_argument("--store-dir", default=None, metavar="DIR",
+                            help="also persist the dataset as a crash-safe "
+                                 "segmented store here (checksummed "
+                                 "segments + sealed manifest; verify with "
+                                 "'repro data verify DIR')")
     run_parser.set_defaults(handler=cmd_run)
 
     report_parser = commands.add_parser("report", help="render tables from a saved run")
@@ -916,6 +1049,26 @@ def build_parser() -> argparse.ArgumentParser:
                                     "alerts.json here (file or directory)")
     alerts_parser.set_defaults(handler=cmd_runs_alerts)
 
+    data_parser = commands.add_parser(
+        "data",
+        help="inspect or verify a segmented dataset store "
+             "(run --store-dir)",
+    )
+    data_commands = data_parser.add_subparsers(dest="data_command",
+                                               required=True)
+    dverify_parser = data_commands.add_parser(
+        "verify",
+        help="re-hash every sealed segment against its footer and the "
+             "manifest; exit 2 on any corruption",
+    )
+    dverify_parser.add_argument("store_dir")
+    dverify_parser.set_defaults(handler=cmd_data_verify)
+    dstats_parser = data_commands.add_parser(
+        "stats", help="record counts, segments, and degradation markers"
+    )
+    dstats_parser.add_argument("store_dir")
+    dstats_parser.set_defaults(handler=cmd_data_stats)
+
     monitor_parser = commands.add_parser(
         "monitor",
         help="supervised continuous measurement: run the pipeline on a "
@@ -947,7 +1100,7 @@ def build_parser() -> argparse.ArgumentParser:
     mrun_parser.add_argument("--iterations", type=int, default=3)
     mrun_parser.add_argument("--no-underground", action="store_true")
     mrun_parser.add_argument("--chaos", default="off",
-                             choices=["off", "light", "moderate", "heavy"])
+                             choices=list(PROFILES))
     mrun_parser.add_argument("--catch-up", default="run",
                              choices=["run", "skip"],
                              help="torn/missed cycles on restart: re-run "

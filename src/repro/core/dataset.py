@@ -16,6 +16,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.util.fileio import atomic_write_lines
+
 #: Provenance value of a record with no degradation flags.
 PROVENANCE_COMPLETE = "complete"
 
@@ -192,22 +194,43 @@ class MeasurementDataset:
         return [l for l in self.listings if l.has_visible_profile]
 
     def profile_for_url(self, profile_url: str) -> Optional[ProfileRecord]:
-        for profile in self.profiles:
-            if profile.profile_url == profile_url:
-                return profile
-        return None
+        """First profile with this URL, via a lazily built index.
+
+        The linear scan this replaces made the network-analysis stage
+        quadratic (one full pass per listing).  The index is rebuilt
+        whenever ``profiles`` has visibly changed — new list object or
+        new length — so appends and wholesale replacement both
+        invalidate it; first-match-wins is preserved via ``setdefault``.
+        """
+        profiles = self.profiles
+        cache = self.__dict__.get("_profile_index")
+        if (cache is None or cache[0] is not profiles
+                or cache[1] != len(profiles)):
+            index: Dict[str, ProfileRecord] = {}
+            for profile in profiles:
+                index.setdefault(profile.profile_url, profile)
+            cache = (profiles, len(profiles), index)
+            self.__dict__["_profile_index"] = cache
+        return cache[2].get(profile_url)
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory: str) -> None:
-        """Write the dataset as one JSON-lines file per record type."""
+        """Write the dataset as one JSON-lines file per record type.
+
+        Each file is written atomically (temp file + rename), so a
+        crash mid-save leaves the previous complete file — or no file —
+        never a torn one that :meth:`load` would have to quarantine.
+        """
         os.makedirs(directory, exist_ok=True)
         for name in _RECORD_TYPES:
             records = getattr(self, name)
             path = os.path.join(directory, f"{name}.jsonl")
-            with open(path, "w", encoding="utf-8") as handle:
-                for record in records:
-                    handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
+            atomic_write_lines(
+                path,
+                (json.dumps(dataclasses.asdict(record))
+                 for record in records),
+            )
 
     @classmethod
     def load(cls, directory: str,

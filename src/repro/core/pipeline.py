@@ -25,7 +25,7 @@ from repro.contracts.schema import ValidationReport, validate_dataset
 from repro.contracts.supervisor import StageFailure, StageSupervisor
 from repro.core.dataset import MeasurementDataset
 from repro.crawler.crawler import CrawlReport, IterationCrawl, MarketplaceCrawler
-from repro.faults import FaultInjector, resolve_profile
+from repro.faults import DiskFaultInjector, FaultInjector, resolve_profile
 from repro.crawler.profile_collector import ProfileCollector
 from repro.crawler.underground_collector import UndergroundCollector
 from repro.marketplaces.channels import monitored_channels, triage, websites
@@ -132,6 +132,11 @@ class StudyResult:
     scorecard: Optional[Scorecard] = None
     #: The fault injector the run crawled through (None when chaos off).
     fault_injector: Optional[FaultInjector] = None
+    #: The storage-plane fault injector (None unless the chaos profile
+    #: has disk rates).  The CLI reuses it for the post-run store save,
+    #: so a byte budget spans checkpoints *and* the final dataset — one
+    #: disk, one budget.
+    disk_faults: Optional[DiskFaultInjector] = None
     #: Contract-validation tally (None when contracts disabled).
     contracts: Optional[ValidationReport] = None
     #: The dead-letter store for quarantined records (always present).
@@ -206,6 +211,13 @@ class Study:
                 seed=self.config.seed, telemetry=telemetry,
             )
             network = injector
+        # Storage-plane chaos is independent of network chaos: the same
+        # profile may carry either or both sets of rates.
+        disk_faults: Optional[DiskFaultInjector] = None
+        if fault_profile.disk_active:
+            disk_faults = DiskFaultInjector(
+                fault_profile, seed=self.config.seed, telemetry=telemetry,
+            )
 
         with tracer.span("build_world"), profiler.phase("build_world"):
             world = WorldBuilder(self.config.world_config()).build()
@@ -282,6 +294,7 @@ class Study:
             telemetry=telemetry,
             watchdog=watchdog,
             archive=archive,
+            disk_faults=disk_faults,
         )
         with tracer.span("iteration_crawl"), profiler.phase("iteration_crawl"):
             dataset = crawl.run()
@@ -402,6 +415,7 @@ class Study:
             telemetry=telemetry,
             watchdog=watchdog,
             fault_injector=injector,
+            disk_faults=disk_faults,
             contracts=contracts,
             quarantine=quarantine,
             archive=archive_summary,

@@ -45,7 +45,7 @@ class CrawlCheckpoint:
 
     # -- persistence -------------------------------------------------------
 
-    def save(self, path: str) -> None:
+    def save(self, path: str, faults=None) -> None:
         payload = {
             "completed_iterations": self.completed_iterations,
             "active_per_iteration": self.active_per_iteration,
@@ -64,7 +64,11 @@ class CrawlCheckpoint:
         if directory:
             os.makedirs(directory, exist_ok=True)
         # Write-then-rename so a crash never leaves a torn checkpoint.
-        atomic_write_json(path, payload, indent=None, sort_keys=False)
+        # ``faults`` (a DiskFaultInjector) routes the write through the
+        # storage chaos layer; an injected failure leaves the previous
+        # checkpoint intact, exactly like the real one would.
+        atomic_write_json(path, payload, indent=None, sort_keys=False,
+                          faults=faults)
 
     @classmethod
     def load(cls, path: str) -> "CrawlCheckpoint":

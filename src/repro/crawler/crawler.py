@@ -328,6 +328,10 @@ class IterationCrawl:
     #: iteration, opened before any request and closed before the
     #: checkpoint claims the iteration complete.
     archive: Optional[object] = None
+    #: Optional :class:`~repro.faults.disk.DiskFaultInjector`; checkpoint
+    #: saves route through it, and a disk-full checkpoint save degrades
+    #: (skip + event) instead of killing a crawl that is still working.
+    disk_faults: Optional[object] = None
     #: offer URL -> (record, first_seen, last_seen)
     _tracker: Dict[str, ListingRecord] = field(default_factory=dict)
     reports: List[CrawlReport] = field(default_factory=list)
@@ -414,14 +418,32 @@ class IterationCrawl:
             self.active_per_iteration.append(active_count)
             self.cumulative_per_iteration.append(len(self._tracker))
             if self.checkpoint_path:
-                CrawlCheckpoint(
+                checkpoint = CrawlCheckpoint(
                     completed_iterations=iteration + 1,
                     active_per_iteration=self.active_per_iteration,
                     cumulative_per_iteration=self.cumulative_per_iteration,
                     sim_seconds=self.client.clock.now(),
                     tracker=self._tracker,
                     sellers=sellers_seen,
-                ).save(self.checkpoint_path)
+                )
+                try:
+                    checkpoint.save(self.checkpoint_path,
+                                    faults=self.disk_faults)
+                except OSError as exc:
+                    from repro.faults.disk import is_disk_full
+
+                    # The atomic write left the previous checkpoint
+                    # intact.  A checkpoint is a resume point, not the
+                    # data: losing one is a degradation, not a reason to
+                    # abandon a crawl that is still collecting — record
+                    # it (disk-full gets its own event kind) and go on.
+                    telemetry.events.emit(
+                        "checkpoint.disk_full" if is_disk_full(exc)
+                        else "checkpoint.write_error",
+                        level="warning",
+                        path=self.checkpoint_path, iteration=iteration,
+                        detail=str(exc),
+                    )
         dataset.listings = list(self._tracker.values())
         dataset.sellers = list(sellers_seen.values())
         return dataset

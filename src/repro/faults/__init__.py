@@ -1,23 +1,39 @@
-"""Seeded, deterministic fault injection for chaos-hardened crawling.
+"""Seeded, deterministic fault injection for chaos-hardened crawling
+and storage.
 
 * :mod:`repro.faults.profiles` — named chaos levels (``off``/``light``/
-  ``moderate``/``heavy``) bundling per-request fault probabilities;
+  ``moderate``/``heavy`` for the network, ``disk``/``disk_full`` for
+  the storage plane) bundling per-request fault probabilities;
 * :mod:`repro.faults.injector` — the :class:`FaultInjector` proxy that
   wraps the synthetic :class:`~repro.web.server.Internet` and injects
   outages, 5xx bursts, hangs, tarpits, body corruption, 429 storms, and
-  flash bans from per-``(seed, iteration, host)`` RNG streams.
+  flash bans from per-``(seed, iteration, host)`` RNG streams;
+* :mod:`repro.faults.disk` — the :class:`DiskFaultInjector` the durable
+  writers (segmented store, checkpoints, atomic file writes) route
+  through: ENOSPC, torn writes, fsync failure, and bit-flip-on-read
+  from per-``(seed, op, path)`` RNG streams.
 
 Same seed, same faults — chaos runs stay byte-deterministic, which is
 what lets CI diff twin runs and assert kill-and-resume equivalence.
 """
 
+from repro.faults.disk import (
+    DiskFaultInjector,
+    DiskFullError,
+    DiskWriteError,
+    is_disk_full,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.profiles import PROFILES, FaultProfile, FaultRates, resolve_profile
 
 __all__ = [
     "PROFILES",
+    "DiskFaultInjector",
+    "DiskFullError",
+    "DiskWriteError",
     "FaultInjector",
     "FaultProfile",
     "FaultRates",
+    "is_disk_full",
     "resolve_profile",
 ]

@@ -18,7 +18,7 @@ inside its calibration bands (enforced by the CI chaos gate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -53,13 +53,42 @@ class FaultRates:
     flash_ban: float = 0.0
     flash_ban_requests: int = 2
 
+    # -- storage plane (see :mod:`repro.faults.disk`) ----------------------
+
+    #: Per-write probability of ENOSPC (the disk is full *now*).
+    disk_enospc: float = 0.0
+    #: Deterministic disk-full drill: record-data writes fail with
+    #: ENOSPC once this many payload bytes have been written (None =
+    #: never).  Metadata writes (segment footers, manifests) are exempt,
+    #: modeling the reserved blocks real filesystems keep — exactly the
+    #: regime in which "flush what fits and seal" is possible.
+    disk_enospc_after_bytes: Optional[int] = None
+    #: Per-write probability the write lands only a prefix, then errors
+    #: (a torn write: power loss or a dying device mid-transfer).
+    disk_torn_write: float = 0.0
+    #: Per-fsync probability the flush to stable storage fails (EIO).
+    disk_fsync_fail: float = 0.0
+    #: Per-read probability one bit of the payload comes back flipped
+    #: (silent media corruption the checksums must catch).
+    disk_bit_flip: float = 0.0
+
     @property
     def active(self) -> bool:
+        """Any *network* fault family armed (the web injector's switch)."""
         return any((
             self.outage, self.server_error, self.hang, self.tarpit,
             self.truncate_body, self.mangle_body, self.rate_storm,
             self.flash_ban,
         ))
+
+    @property
+    def disk_active(self) -> bool:
+        """Any *storage* fault family armed (the disk injector's switch)."""
+        return bool(
+            self.disk_enospc or self.disk_torn_write
+            or self.disk_fsync_fail or self.disk_bit_flip
+            or self.disk_enospc_after_bytes is not None
+        )
 
 
 @dataclass(frozen=True)
@@ -72,6 +101,10 @@ class FaultProfile:
     @property
     def active(self) -> bool:
         return self.rates.active
+
+    @property
+    def disk_active(self) -> bool:
+        return self.rates.disk_active
 
 
 #: The registry behind ``--chaos <name>``.
@@ -115,6 +148,27 @@ PROFILES: Dict[str, FaultProfile] = {
             retry_after_seconds=8.0,
             retry_after_http_date_share=0.4,
             flash_ban=0.004, flash_ban_requests=4,
+        ),
+    ),
+    # Storage-plane chaos: the network is calm, the disk is dying.
+    # Rates are per-write/-read, and a study writes thousands of
+    # records, so even small probabilities exercise every recovery path.
+    "disk": FaultProfile(
+        name="disk",
+        rates=FaultRates(
+            disk_enospc=0.001,
+            disk_torn_write=0.004,
+            disk_fsync_fail=0.002,
+            disk_bit_flip=0.0005,
+        ),
+    ),
+    # The disk-full drill: record-data writes start failing after 256
+    # KiB, deterministically, whatever the seed — the run must flush
+    # what fits, seal it, and exit cleanly with partial:disk_full.
+    "disk_full": FaultProfile(
+        name="disk_full",
+        rates=FaultRates(
+            disk_enospc_after_bytes=256 * 1024,
         ),
     ),
 }

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.faults.disk import is_disk_full
 from repro.monitor.ledger import ScheduleLedger
 
 
@@ -91,6 +92,11 @@ def classify_failure(exc: Exception) -> str:
     """A one-token machine-readable reason for a cycle failure."""
     if isinstance(exc, CycleFault):
         return exc.kind
+    if is_disk_full(exc):
+        # ENOSPC (injected or real): retrying into the same full disk
+        # cannot help, and the reason deserves its own token so the
+        # operator sees "disk_full", not "error:OSError".
+        return "disk_full"
     return f"error:{type(exc).__name__}"
 
 
@@ -148,6 +154,11 @@ class CycleSupervisor:
                 self.log(f"cycle {cycle}: attempt {attempt} failed "
                          f"({reason}: {exc})")
                 if isinstance(exc, CycleFault) and not exc.retryable:
+                    break
+                if is_disk_full(exc):
+                    # A full disk is deterministic for the retry window;
+                    # burning the remaining attempts just delays the
+                    # failed entry the operator needs to see.
                     break
                 continue
             self.consecutive_failures = 0

@@ -46,6 +46,9 @@ ALERTS_SCHEMA = "repro.alerts/v1"
 #: ``ledger.jsonl`` header — the monitor daemon's durable schedule
 #: ledger (:mod:`repro.monitor.ledger`).
 MONITOR_LEDGER_SCHEMA = "repro.monitor-ledger/v1"
+#: ``store.json`` — the segmented dataset store's sealed manifest
+#: (:mod:`repro.store`).
+STORE_SCHEMA = "repro.store/v1"
 
 #: Every schema id this codebase knows how to read or write.
 KNOWN_SCHEMAS = frozenset({
@@ -60,6 +63,7 @@ KNOWN_SCHEMAS = frozenset({
     TRENDS_SCHEMA,
     ALERTS_SCHEMA,
     MONITOR_LEDGER_SCHEMA,
+    STORE_SCHEMA,
 })
 
 #: Telemetry-dir artifact file -> the schema id its contents must carry.
@@ -146,6 +150,7 @@ __all__ = [
     "PROFILE_SCHEMA",
     "REGISTRY_SCHEMA",
     "SCORECARD_SCHEMA",
+    "STORE_SCHEMA",
     "SchemaError",
     "TRACE_DOC_SCHEMA",
     "TRENDS_SCHEMA",

@@ -1,0 +1,46 @@
+"""Crash-safe segmented record store — the pipeline's durable data plane.
+
+* :mod:`repro.store.segments` — the append-only segmented JSONL store:
+  fixed-size segments with a per-segment SHA-256 + record-count footer,
+  a sealed, atomically-replaced ``store.json`` manifest
+  (``repro.store/v1``), torn-tail recovery, corrupt-segment quarantine,
+  and streaming record-at-a-time reads with bounded-memory grouping;
+* :mod:`repro.store.dataset_store` — the bridge between the store and
+  :class:`~repro.core.dataset.MeasurementDataset`: stream a dataset in,
+  load one back, or iterate records without materializing the world.
+
+The write path degrades gracefully under storage chaos
+(:mod:`repro.faults.disk`): ENOSPC flushes what fits and seals it, torn
+appends are truncated back and retried, and a SIGKILL at any byte
+reloads exactly the flushed prefix.
+"""
+
+from repro.store.dataset_store import (
+    StoreSaveReport,
+    is_store_dir,
+    load_dataset,
+    save_dataset,
+)
+from repro.store.segments import (
+    DEFAULT_SEGMENT_RECORDS,
+    STORE_MANIFEST_FILENAME,
+    GroupedView,
+    StoreCorruptError,
+    StoreError,
+    StoreReader,
+    StoreWriter,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_RECORDS",
+    "GroupedView",
+    "STORE_MANIFEST_FILENAME",
+    "StoreCorruptError",
+    "StoreError",
+    "StoreReader",
+    "StoreSaveReport",
+    "StoreWriter",
+    "is_store_dir",
+    "load_dataset",
+    "save_dataset",
+]

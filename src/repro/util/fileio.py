@@ -13,6 +13,12 @@ one, never a mixture.
 before the rename, for writers (the monitor's schedule ledger state,
 lock files) whose durability matters across power loss, not just
 process death.
+
+``faults`` (a :class:`repro.faults.disk.DiskFaultInjector`) routes the
+write and fsync through the storage-plane chaos layer; an injected
+failure behaves exactly like the real one — the temp file is removed
+and the target is untouched, so a chaos run can never tear a file the
+plain path would have written atomically.
 """
 
 from __future__ import annotations
@@ -20,12 +26,12 @@ from __future__ import annotations
 import contextlib
 import json
 import os
-from typing import Iterator, TextIO
+from typing import Iterable, Iterator, TextIO
 
 
 @contextlib.contextmanager
 def atomic_write(path: str, encoding: str = "utf-8",
-                 fsync: bool = False) -> Iterator[TextIO]:
+                 fsync: bool = False, faults=None) -> Iterator[TextIO]:
     """Open a temp file for writing; atomically rename onto ``path`` on
     clean exit.  On any exception the temp file is removed and ``path``
     is left untouched.
@@ -43,7 +49,10 @@ def atomic_write(path: str, encoding: str = "utf-8",
         yield handle
         handle.flush()
         if fsync:
-            os.fsync(handle.fileno())
+            if faults is not None:
+                faults.fsync(path, handle.fileno())
+            else:
+                os.fsync(handle.fileno())
         handle.close()
         os.replace(temp_path, path)
     except BaseException:
@@ -53,24 +62,50 @@ def atomic_write(path: str, encoding: str = "utf-8",
         raise
 
 
+def _write(handle: TextIO, path: str, text: str, faults=None) -> None:
+    if faults is not None:
+        faults.write(handle, path, text)
+    else:
+        handle.write(text)
+
+
 def atomic_write_json(path: str, payload, indent: int = 2,
                       sort_keys: bool = True,
                       trailing_newline: bool = False,
-                      fsync: bool = False) -> str:
+                      fsync: bool = False, faults=None) -> str:
     """Serialize ``payload`` as JSON into ``path`` atomically; returns
     ``path`` for the common ``print(f"wrote {...}")`` idiom."""
-    with atomic_write(path, fsync=fsync) as handle:
-        json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
-        if trailing_newline:
-            handle.write("\n")
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    with atomic_write(path, fsync=fsync, faults=faults) as handle:
+        _write(handle, path, text, faults=faults)
     return path
 
 
-def atomic_write_text(path: str, text: str, fsync: bool = False) -> str:
+def atomic_write_text(path: str, text: str, fsync: bool = False,
+                      faults=None) -> str:
     """Write a complete text file atomically."""
-    with atomic_write(path, fsync=fsync) as handle:
-        handle.write(text)
+    with atomic_write(path, fsync=fsync, faults=faults) as handle:
+        _write(handle, path, text, faults=faults)
     return path
 
 
-__all__ = ["atomic_write", "atomic_write_json", "atomic_write_text"]
+def atomic_write_lines(path: str, lines: Iterable[str],
+                       fsync: bool = False, faults=None) -> str:
+    """Write a complete line-oriented file (JSONL and friends)
+    atomically: every line gets its ``\\n``, and a crash mid-write
+    leaves the previous file (or no file), never a torn one."""
+    with atomic_write(path, fsync=fsync, faults=faults) as handle:
+        for line in lines:
+            _write(handle, path, line + "\n", faults=faults)
+    return path
+
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_json",
+    "atomic_write_lines",
+    "atomic_write_text",
+]
+

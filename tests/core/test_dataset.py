@@ -57,6 +57,29 @@ class TestViews:
         assert ds.profile_for_url("http://x.example/h1").handle == "h1"
         assert ds.profile_for_url("http://x.example/none") is None
 
+    def test_profile_for_url_index_invalidates_on_append(self):
+        ds = sample_dataset()
+        assert ds.profile_for_url("http://x.example/h2") is None  # builds cache
+        ds.profiles.append(ProfileRecord(
+            profile_url="http://x.example/h2", platform="X", handle="h2",
+        ))
+        assert ds.profile_for_url("http://x.example/h2").handle == "h2"
+
+    def test_profile_for_url_index_invalidates_on_replacement(self):
+        ds = sample_dataset()
+        assert ds.profile_for_url("http://x.example/h1") is not None
+        ds.profiles = [ProfileRecord(
+            profile_url="http://x.example/h1", platform="X", handle="new",
+        )]
+        assert ds.profile_for_url("http://x.example/h1").handle == "new"
+
+    def test_profile_for_url_first_match_wins(self):
+        ds = sample_dataset()
+        ds.profiles.append(ProfileRecord(
+            profile_url="http://x.example/h1", platform="X", handle="dup",
+        ))
+        assert ds.profile_for_url("http://x.example/h1").handle == "h1"
+
     def test_summary(self):
         assert sample_dataset().summary() == {
             "sellers": 1, "listings": 2, "profiles": 1, "posts": 1, "underground": 1,
@@ -72,6 +95,27 @@ class TestPersistence:
         assert loaded.listings[0] == ds.listings[0]
         assert loaded.profiles[0] == ds.profiles[0]
         assert loaded.underground[0] == ds.underground[0]
+
+    def test_save_is_atomic_no_temp_leftovers(self, tmp_path):
+        directory = tmp_path / "run_atomic"
+        sample_dataset().save(str(directory))
+        leftovers = [p.name for p in directory.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_save_overwrite_never_leaves_stale_mixture(self, tmp_path):
+        # Saving a smaller dataset over a larger one must fully replace
+        # each file (the old non-atomic writer could leave a torn state
+        # if killed mid-save; atomic replace makes overwrite total).
+        directory = str(tmp_path / "run_over")
+        big = sample_dataset()
+        big.save(directory)
+        small = MeasurementDataset()
+        small.save(directory)
+        loaded = MeasurementDataset.load(directory)
+        assert loaded.summary() == {
+            "sellers": 0, "listings": 0, "profiles": 0, "posts": 0,
+            "underground": 0,
+        }
 
     def test_load_missing_directory_gives_empty(self, tmp_path):
         loaded = MeasurementDataset.load(str(tmp_path / "nothing"))

@@ -1,0 +1,161 @@
+"""Tests for the storage-plane fault injector and its seams."""
+
+import errno
+import io
+import os
+
+import pytest
+
+from repro.faults import (
+    DiskFaultInjector,
+    DiskFullError,
+    DiskWriteError,
+    is_disk_full,
+    resolve_profile,
+)
+from repro.faults.profiles import FaultProfile, FaultRates
+from repro.util.fileio import atomic_write_json
+
+
+def _profile(**rates) -> FaultProfile:
+    return FaultProfile(name="test", rates=FaultRates(**rates))
+
+
+class TestErrors:
+    def test_disk_full_is_enospc(self):
+        exc = DiskFullError("boom")
+        assert exc.errno == errno.ENOSPC
+        assert is_disk_full(exc)
+
+    def test_real_enospc_counts_as_disk_full(self):
+        assert is_disk_full(OSError(errno.ENOSPC, "no space"))
+        assert not is_disk_full(OSError(errno.EIO, "io"))
+        assert not is_disk_full(ValueError("nope"))
+
+    def test_write_error_is_eio(self):
+        assert DiskWriteError("x").errno == errno.EIO
+
+
+class TestByteBudget:
+    def test_budget_fails_data_writes_deterministically(self):
+        faults = DiskFaultInjector(
+            _profile(disk_enospc_after_bytes=10), seed=1,
+        )
+        handle = io.StringIO()
+        faults.write(handle, "/x/data.seg", "12345", data=True)
+        faults.write(handle, "/x/data.seg", "1234", data=True)
+        with pytest.raises(DiskFullError):
+            faults.write(handle, "/x/data.seg", "123", data=True)
+        assert handle.getvalue() == "123451234"
+
+    def test_metadata_writes_are_exempt_from_budget(self):
+        faults = DiskFaultInjector(
+            _profile(disk_enospc_after_bytes=1), seed=1,
+        )
+        handle = io.StringIO()
+        faults.write(handle, "/x/store.json", "a long manifest document")
+        assert "manifest" in handle.getvalue()
+
+    def test_inactive_profile_writes_plainly(self):
+        faults = DiskFaultInjector(resolve_profile("off"), seed=1)
+        assert not faults.active
+        handle = io.StringIO()
+        faults.write(handle, "/x/a", "hello", data=True)
+        assert handle.getvalue() == "hello"
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults_across_directories(self):
+        # Streams key on the path *basename*, so twin runs in different
+        # scratch dirs draw identical fault sequences.
+        outcomes = []
+        for prefix in ("/tmp/run_a", "/tmp/run_b"):
+            faults = DiskFaultInjector(_profile(disk_torn_write=0.3),
+                                       seed=11)
+            sequence = []
+            for index in range(50):
+                handle = io.StringIO()
+                try:
+                    faults.write(handle, f"{prefix}/seg-000001.seg",
+                                 f"line {index}\n")
+                    sequence.append("ok")
+                except DiskWriteError:
+                    sequence.append(f"torn@{len(handle.getvalue())}")
+            outcomes.append(sequence)
+        assert outcomes[0] == outcomes[1]
+        assert any(o.startswith("torn") for o in outcomes[0])
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            faults = DiskFaultInjector(_profile(disk_torn_write=0.3),
+                                       seed=seed)
+            out = []
+            for index in range(40):
+                try:
+                    faults.write(io.StringIO(), "/x/f", "data\n")
+                    out.append(True)
+                except DiskWriteError:
+                    out.append(False)
+            return out
+
+        assert run(1) != run(2)
+
+
+class TestTornWrite:
+    def test_torn_write_lands_prefix_then_raises(self):
+        faults = DiskFaultInjector(_profile(disk_torn_write=1.0), seed=3)
+        handle = io.StringIO()
+        with pytest.raises(DiskWriteError):
+            faults.write(handle, "/x/f", "0123456789")
+        landed = handle.getvalue()
+        assert 0 < len(landed) < 10
+        assert "0123456789".startswith(landed)
+        assert faults.counts["torn_write"] == 1
+
+
+class TestFsync:
+    def test_fsync_failure_raises(self, tmp_path):
+        faults = DiskFaultInjector(_profile(disk_fsync_fail=1.0), seed=5)
+        path = tmp_path / "f"
+        with open(path, "w") as handle:
+            with pytest.raises(DiskWriteError):
+                faults.fsync(str(path), handle.fileno())
+
+    def test_fsync_passthrough_when_quiet(self, tmp_path):
+        faults = DiskFaultInjector(_profile(disk_fsync_fail=0.0,
+                                            disk_torn_write=0.001),
+                                   seed=5)
+        path = tmp_path / "f"
+        with open(path, "w") as handle:
+            handle.write("x")
+            faults.fsync(str(path), handle.fileno())
+
+
+class TestBitFlip:
+    def test_flips_exactly_one_bit(self):
+        faults = DiskFaultInjector(_profile(disk_bit_flip=1.0), seed=9)
+        payload = b"a" * 100
+        flipped = faults.filter_read("/x/seg", payload)
+        assert flipped != payload
+        diff = [i for i in range(100) if flipped[i] != payload[i]]
+        assert len(diff) == 1
+        assert bin(flipped[diff[0]] ^ payload[diff[0]]).count("1") == 1
+
+    def test_empty_payload_passes_through(self):
+        faults = DiskFaultInjector(_profile(disk_bit_flip=1.0), seed=9)
+        assert faults.filter_read("/x/seg", b"") == b""
+
+
+class TestAtomicWriteSeam:
+    def test_enospc_leaves_previous_file_intact(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"version": 1})
+        faults = DiskFaultInjector(_profile(disk_enospc=1.0), seed=2)
+        with pytest.raises(DiskFullError):
+            atomic_write_json(path, {"version": 2}, faults=faults)
+        import json
+
+        with open(path) as handle:
+            assert json.load(handle) == {"version": 1}
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp." in p]
+        assert leftovers == []

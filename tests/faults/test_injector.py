@@ -37,7 +37,21 @@ def fetch(injector, path="/page"):
 
 class TestProfiles:
     def test_registry_names(self):
-        assert set(PROFILES) == {"off", "light", "moderate", "heavy"}
+        assert set(PROFILES) == {
+            "off", "light", "moderate", "heavy", "disk", "disk_full",
+        }
+
+    def test_network_profiles_have_no_disk_rates(self):
+        # The pre-existing CI chaos gates (twin-run determinism, crash
+        # drills) run under the network profiles; storage chaos must
+        # stay opt-in via the disk profiles.
+        for name in ("off", "light", "moderate", "heavy"):
+            assert not PROFILES[name].disk_active, name
+
+    def test_disk_profiles_are_storage_only(self):
+        for name in ("disk", "disk_full"):
+            assert PROFILES[name].disk_active, name
+            assert not PROFILES[name].active, name
 
     def test_resolve_is_case_insensitive(self):
         assert resolve_profile("MODERATE").name == "moderate"

@@ -128,3 +128,31 @@ class TestClassification:
 
     def test_plain_exceptions(self):
         assert classify_failure(KeyError("k")) == "error:KeyError"
+
+    def test_disk_full_gets_its_own_token(self):
+        import errno
+
+        from repro.faults import DiskFullError
+
+        assert classify_failure(DiskFullError("full")) == "disk_full"
+        assert classify_failure(OSError(errno.ENOSPC, "full")) == "disk_full"
+        assert classify_failure(OSError(errno.EIO, "io")) == "error:OSError"
+
+
+class TestDiskFullCycles:
+    def test_disk_full_is_not_retried(self, ledger):
+        from repro.faults import DiskFullError
+
+        supervisor = CycleSupervisor(ledger, CyclePolicy(max_attempts=3))
+        calls = []
+
+        def body(attempt):
+            calls.append(attempt)
+            raise DiskFullError("no space left on device")
+
+        outcome = supervisor.run_cycle(0, body)
+        assert not outcome.ok
+        assert calls == [1]  # a full disk stays full; no retry burn
+        assert outcome.reason == "disk_full"
+        (failed,) = entries(ledger, "failed")
+        assert failed["reason"] == "disk_full"

@@ -1,0 +1,169 @@
+"""Tests for the dataset bridge and the ``repro data`` CLI commands."""
+
+import glob
+import json
+import os
+
+from repro.cli import main
+from repro.contracts import QuarantineStore
+from repro.core.dataset import (
+    ListingRecord,
+    MeasurementDataset,
+    ProfileRecord,
+    SellerRecord,
+)
+from repro.faults import DiskFaultInjector, resolve_profile
+from repro.store import (
+    StoreWriter,
+    is_store_dir,
+    load_dataset,
+    save_dataset,
+)
+
+
+def _dataset(listings=3, sellers=2, profiles=1):
+    return MeasurementDataset(
+        listings=[
+            ListingRecord(offer_url=f"http://m/offer/{i}", marketplace="M",
+                          price_usd=10.0 + i)
+            for i in range(listings)
+        ],
+        sellers=[
+            SellerRecord(seller_url=f"http://m/seller/{i}", marketplace="M")
+            for i in range(sellers)
+        ],
+        profiles=[
+            ProfileRecord(profile_url=f"http://x/p{i}", platform="X",
+                          handle=f"h{i}")
+            for i in range(profiles)
+        ],
+    )
+
+
+class TestBridge:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        directory = str(tmp_path / "store")
+        dataset = _dataset()
+        report = save_dataset(dataset, directory)
+        assert report.complete
+        assert report.counts == {"listings": 3, "profiles": 1, "sellers": 2}
+        loaded = load_dataset(directory)
+        assert loaded.listings == dataset.listings
+        assert loaded.sellers == dataset.sellers
+        assert loaded.profiles == dataset.profiles
+
+    def test_is_store_dir(self, tmp_path):
+        directory = str(tmp_path / "store")
+        save_dataset(_dataset(), directory)
+        assert is_store_dir(directory)
+        assert not is_store_dir(str(tmp_path))
+
+    def test_disk_full_flushes_prefix_and_marks_partial(self, tmp_path):
+        directory = str(tmp_path / "store")
+        faults = DiskFaultInjector(resolve_profile("disk_full"), seed=3)
+        dataset = _dataset(listings=5000)
+        report = save_dataset(dataset, directory, faults=faults)
+        assert report.partial == "disk_full"
+        flushed = report.counts.get("listings", 0)
+        assert 0 < flushed < 5000
+        assert sum(report.dropped.values()) + flushed \
+            + report.counts.get("sellers", 0) \
+            + report.counts.get("profiles", 0) == 5003
+        # The partial store still loads, and carries the marker.
+        loaded = load_dataset(directory)
+        assert len(loaded.listings) >= flushed - 1
+        with open(os.path.join(directory, "store.json")) as handle:
+            assert json.load(handle)["partial"] == "disk_full"
+
+    def test_shape_drifted_record_is_quarantined(self, tmp_path):
+        directory = str(tmp_path / "store")
+        writer = StoreWriter(directory)
+        writer.append("listings", {"marketplace": "M"})  # no offer_url
+        writer.append("listings", {"offer_url": "u", "marketplace": "M"})
+        writer.seal()
+        quarantine = QuarantineStore()
+        loaded = load_dataset(directory, quarantine=quarantine)
+        assert len(loaded.listings) == 1
+        assert quarantine.total == 1
+
+    def test_unknown_record_type_is_ignored(self, tmp_path):
+        directory = str(tmp_path / "store")
+        writer = StoreWriter(directory)
+        writer.append("wormholes", {"x": 1})
+        writer.append("listings", {"offer_url": "u", "marketplace": "M"})
+        writer.seal()
+        loaded = load_dataset(directory)
+        assert len(loaded.listings) == 1
+
+
+class TestDataCli:
+    def _store(self, tmp_path):
+        directory = str(tmp_path / "store")
+        save_dataset(_dataset(), directory)
+        return directory
+
+    def test_verify_clean_store_exits_zero(self, tmp_path, capsys):
+        directory = self._store(tmp_path)
+        assert main(["data", "verify", directory]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_flipped_byte_exits_two(self, tmp_path, capsys):
+        directory = self._store(tmp_path)
+        segment = sorted(glob.glob(
+            os.path.join(directory, "segments", "listings-*.seg")
+        ))[0]
+        with open(segment, "rb") as handle:
+            payload = bytearray(handle.read())
+        payload[12] ^= 0x01
+        with open(segment, "wb") as handle:
+            handle.write(bytes(payload))
+        assert main(["data", "verify", directory]) == 2
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_verify_non_store_dir_exits_two(self, tmp_path, capsys):
+        assert main(["data", "verify", str(tmp_path)]) == 2
+
+    def test_stats_renders_counts(self, tmp_path, capsys):
+        directory = self._store(tmp_path)
+        assert main(["data", "stats", directory]) == 0
+        out = capsys.readouterr().out
+        assert "listings: 3" in out
+        assert "sealed: True" in out
+
+    def test_report_reads_store_layout(self, tmp_path, capsys):
+        # ``repro report`` on a store dir written by run --store-dir
+        # must render the same tables as on the flat run dir — the
+        # meta-derived sections (payment methods, listing dynamics)
+        # included, since the meta file is mirrored into the store.
+        out_dir = str(tmp_path / "out")
+        store_dir = str(tmp_path / "store")
+        assert main([
+            "run", "--out", out_dir, "--store-dir", store_dir,
+            "--scale", "0.02", "--iterations", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", store_dir, "--scale", "0.02"]) == 0
+        from_store = capsys.readouterr().out
+        assert "Table 1" in from_store
+        assert "Table 3" in from_store
+        assert "Figure 2" in from_store
+        assert main(["report", out_dir, "--scale", "0.02"]) == 0
+        assert capsys.readouterr().out == from_store
+
+
+class TestRunStoreDir:
+    def test_run_chaos_disk_full_exits_zero_marked_partial(
+            self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        store_dir = str(tmp_path / "store")
+        rc = main([
+            "run", "--out", out_dir, "--store-dir", store_dir,
+            "--scale", "0.05", "--iterations", "2",
+            "--chaos", "disk_full",
+        ])
+        assert rc == 0
+        with open(os.path.join(out_dir, "study_meta.json")) as handle:
+            assert json.load(handle)["partial"] == "disk_full"
+        # The flushed prefix is sealed and internally consistent.
+        assert main(["data", "verify", store_dir]) == 0
+        assert "partial:disk_full" in capsys.readouterr().out
