@@ -372,6 +372,13 @@ def cmd_run(args: argparse.Namespace) -> int:
                 result.dataset, args.store_dir,
                 faults=result.disk_faults, telemetry=telemetry,
             )
+        except StoreError as exc:
+            # e.g. the directory already holds a previous run's store;
+            # appending to it would cross-contaminate the two runs.
+            print(f"store save refused: {exc}", file=sys.stderr)
+            atomic_write_json(os.path.join(args.out, META_FILENAME),
+                              dict(meta, partial="store_refused"))
+            return 1
         except DiskWriteError as exc:
             print(f"store save failed: {exc}", file=sys.stderr)
             atomic_write_json(os.path.join(args.out, META_FILENAME),
@@ -944,7 +951,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also persist the dataset as a crash-safe "
                                  "segmented store here (checksummed "
                                  "segments + sealed manifest; verify with "
-                                 "'repro data verify DIR')")
+                                 "'repro data verify DIR'); must not "
+                                 "already hold a store — each run gets a "
+                                 "fresh directory")
     run_parser.set_defaults(handler=cmd_run)
 
     report_parser = commands.add_parser("report", help="render tables from a saved run")

@@ -107,7 +107,19 @@ def save_dataset(dataset: MeasurementDataset, directory: str,
             detail=str(exc), flushed=writer.counts(),
             dropped=dict(sorted(report.dropped.items())),
         )
-        writer.seal(partial="disk_full")
+        try:
+            writer.seal(partial="disk_full")
+        except OSError as seal_exc:
+            # The full disk can refuse even the manifest write (the
+            # probabilistic ENOSPC rate hits metadata too).  Degradation
+            # still holds: flushed segments remain recoverable tails for
+            # the reader, and the report already says the save was cut
+            # short — so swallow, never re-raise past the contract.
+            writer.close()
+            telemetry.events.emit(
+                "store.seal_failed", level="error",
+                detail=str(seal_exc), flushed=writer.counts(),
+            )
     else:
         writer.seal()
     report.counts = writer.counts()

@@ -125,8 +125,28 @@ class _OpenSegment:
         self.hasher = hashlib.sha256()
 
 
+def _existing_store_artifact(directory: str,
+                             segments_dir: str) -> Optional[str]:
+    """The first store artifact already present in ``directory``
+    (manifest or segment file), or None when the directory is fresh."""
+    if os.path.exists(os.path.join(directory, STORE_MANIFEST_FILENAME)):
+        return STORE_MANIFEST_FILENAME
+    if os.path.isdir(segments_dir):
+        for name in sorted(os.listdir(segments_dir)):
+            if name.endswith(SEGMENT_SUFFIX):
+                return os.path.join(SEGMENTS_DIRNAME, name)
+    return None
+
+
 class StoreWriter:
     """Appends records to a store directory; seal-as-you-go durability.
+
+    A store directory is **write-once**: the writer refuses a directory
+    that already holds a manifest or segment files.  Reopening existing
+    segments in append mode would restart sequence numbers at 0, mix
+    two runs' records in one file, and break every footer count — the
+    previous run's data must be read, not extended.  Point each run at
+    a fresh directory (or delete the old store first).
 
     Usable as a context manager: a clean ``with`` exit seals the store;
     an exception leaves whatever was flushed on disk for the reader's
@@ -141,6 +161,13 @@ class StoreWriter:
             raise ValueError("segment_max_records must be >= 1")
         self.directory = directory
         self.segments_dir = os.path.join(directory, SEGMENTS_DIRNAME)
+        artifact = _existing_store_artifact(directory, self.segments_dir)
+        if artifact is not None:
+            raise StoreError(
+                f"{directory} already holds a store ({artifact}); "
+                f"appending would corrupt it — use a fresh directory "
+                f"or delete the old store first"
+            )
         os.makedirs(self.segments_dir, exist_ok=True)
         self.segment_max_records = segment_max_records
         self.faults = faults
@@ -396,6 +423,10 @@ class StoreReader:
         self.recovered_tails = 0
         self.quarantined_segments = 0
         self.recovered_lines_dropped = 0
+        #: Problems already accounted, keyed ``(segment, kind[, line])``
+        #: — re-scans (GroupedView passes, repeated counts()) must not
+        #: re-quarantine the same corruption or re-inflate the metrics.
+        self._noted_problems: set = set()
         self.manifest = self._load_manifest()
 
     @classmethod
@@ -550,18 +581,28 @@ class StoreReader:
                     # still torn-tail shaped (e.g. killed mid-flush).
                     self._recover_tail(view, raw)
                 else:
-                    self._quarantine_line(view, raw, str(exc))
+                    self._quarantine_line(view, raw, str(exc), index)
                 continue
             if isinstance(parsed, dict) and FOOTER_KEY in parsed:
-                # Footer mid-scan: everything before it was verified
-                # implicitly by arriving intact; lines after a footer
-                # should not exist.
-                continue
+                # A footer seals the segment: everything before it was
+                # verified implicitly by arriving intact, and nothing
+                # legitimately appends past it.  Quarantine any trailing
+                # bytes instead of serving them as data.
+                for extra_index in range(index + 1, len(lines)):
+                    extra = lines[extra_index]
+                    if extra:
+                        self._quarantine_line(
+                            view, extra, "record after sealed footer",
+                            extra_index,
+                        )
+                return
             yield parsed
 
     # -- recovery bookkeeping ----------------------------------------------
 
     def _recover_tail(self, view: _SegmentView, raw: bytes) -> None:
+        if not self._note_problem((view.name, "tail")):
+            return
         self.recovered_tails += 1
         self.recovered_lines_dropped += 1
         self._m_recovered.inc()
@@ -571,6 +612,8 @@ class StoreReader:
         )
 
     def _quarantine_segment(self, view: _SegmentView, problem: str) -> None:
+        if not self._note_problem((view.name, "segment")):
+            return
         self.quarantined_segments += 1
         self._m_quarantined.inc()
         self.telemetry.events.emit(
@@ -584,7 +627,9 @@ class StoreReader:
             )
 
     def _quarantine_line(self, view: _SegmentView, raw: bytes,
-                         reason: str) -> None:
+                         reason: str, index: int) -> None:
+        if not self._note_problem((view.name, "line", index)):
+            return
         self.recovered_lines_dropped += 1
         self.telemetry.events.emit(
             "store.line_quarantined", level="error",
@@ -596,6 +641,15 @@ class StoreReader:
                 raw=raw.decode("utf-8", "replace")[:500],
                 source=SOURCE_STORE_LOAD,
             )
+
+    def _note_problem(self, key: tuple) -> bool:
+        """True the first time ``key`` is seen; later passes over the
+        same corruption are silent (already counted, already
+        dead-lettered)."""
+        if key in self._noted_problems:
+            return False
+        self._noted_problems.add(key)
+        return True
 
     # -- verification ------------------------------------------------------
 
@@ -672,26 +726,27 @@ def _sealed_segment_problem(payload: bytes, entry: dict) -> Optional[str]:
 
 def _tail_segment_problems(payload: bytes) -> List[str]:
     """Structural problems in an unclaimed (tail) segment.  A truncated
-    final line is recoverable-by-design and therefore not a problem;
-    an undecodable *middle* line is."""
+    final line is recoverable-by-design and therefore not a problem; an
+    undecodable complete line is, and so is any data past a footer
+    (nothing legitimately appends to a sealed segment)."""
     problems: List[str] = []
     lines = payload.split(b"\n")
     if lines and lines[-1] != b"":
-        lines = lines[:-1] + [b""]  # torn final line: recovered, fine
-    for raw in [line for line in lines if line][:-1] or []:
-        try:
-            json.loads(raw)
-        except json.JSONDecodeError:
-            problems.append("undecodable middle line in tail segment")
+        lines = lines[:-1]  # torn final line: recovered, fine
+    footer_seen = False
+    for raw in lines:
+        if not raw:
+            continue
+        if footer_seen:
+            problems.append("data after sealed footer in tail segment")
             break
-    # The last intact line must decode too (it is only droppable when
-    # the file ends without a newline, which we normalized away above).
-    intact = [line for line in lines if line]
-    if intact and payload.endswith(b"\n"):
         try:
-            json.loads(intact[-1])
+            parsed = json.loads(raw)
         except json.JSONDecodeError:
-            problems.append("undecodable final line in tail segment")
+            problems.append("undecodable line in tail segment")
+            break
+        if isinstance(parsed, dict) and FOOTER_KEY in parsed:
+            footer_seen = True
     return problems
 
 

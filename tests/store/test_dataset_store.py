@@ -4,6 +4,8 @@ import glob
 import json
 import os
 
+import pytest
+
 from repro.cli import main
 from repro.contracts import QuarantineStore
 from repro.core.dataset import (
@@ -13,7 +15,9 @@ from repro.core.dataset import (
     SellerRecord,
 )
 from repro.faults import DiskFaultInjector, resolve_profile
+from repro.faults.profiles import FaultProfile, FaultRates
 from repro.store import (
+    StoreError,
     StoreWriter,
     is_store_dir,
     load_dataset,
@@ -74,6 +78,44 @@ class TestBridge:
         assert len(loaded.listings) >= flushed - 1
         with open(os.path.join(directory, "store.json")) as handle:
             assert json.load(handle)["partial"] == "disk_full"
+
+    def test_save_refuses_existing_store_directory(self, tmp_path):
+        directory = str(tmp_path / "store")
+        save_dataset(_dataset(), directory)
+        before = {
+            name: open(os.path.join(directory, "segments", name),
+                       "rb").read()
+            for name in os.listdir(os.path.join(directory, "segments"))
+        }
+        with pytest.raises(StoreError):
+            save_dataset(_dataset(listings=9), directory)
+        # The refusal left the first run's store byte-identical.
+        after = {
+            name: open(os.path.join(directory, "segments", name),
+                       "rb").read()
+            for name in os.listdir(os.path.join(directory, "segments"))
+        }
+        assert after == before
+        assert len(load_dataset(directory).listings) == 3
+
+    def test_disk_full_during_seal_still_degrades_gracefully(
+            self, tmp_path):
+        # With a certain per-write ENOSPC rate, even the partial-seal
+        # manifest write fails; save_dataset must honor its "a full
+        # disk does not raise" contract and report the partial save.
+        directory = str(tmp_path / "store")
+        profile = FaultProfile(
+            name="full", rates=FaultRates(disk_enospc=1.0),
+        )
+        faults = DiskFaultInjector(profile, seed=11)
+        report = save_dataset(_dataset(), directory, faults=faults)
+        assert report.partial == "disk_full"
+        assert sum(report.dropped.values()) == 6
+        # No manifest landed, but the directory is still a readable
+        # (empty-prefix) store, not a traceback.
+        assert not os.path.exists(os.path.join(directory, "store.json"))
+        loaded = load_dataset(directory)
+        assert loaded.listings == []
 
     def test_shape_drifted_record_is_quarantined(self, tmp_path):
         directory = str(tmp_path / "store")
@@ -152,6 +194,20 @@ class TestDataCli:
 
 
 class TestRunStoreDir:
+    def test_second_run_into_same_store_dir_is_refused(
+            self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        store_dir = str(tmp_path / "store")
+        args = ["--scale", "0.02", "--iterations", "1",
+                "--store-dir", store_dir]
+        assert main(["run", "--out", out_dir] + args) == 0
+        capsys.readouterr()
+        rc = main(["run", "--out", str(tmp_path / "out2")] + args)
+        assert rc == 1
+        assert "store save refused" in capsys.readouterr().err
+        # The first run's store is untouched and still verifies clean.
+        assert main(["data", "verify", store_dir]) == 0
+
     def test_run_chaos_disk_full_exits_zero_marked_partial(
             self, tmp_path, capsys):
         out_dir = str(tmp_path / "out")

@@ -85,6 +85,29 @@ class TestWriterReader:
         with pytest.raises(StoreError):
             StoreReader.open(str(tmp_path / "missing"))
 
+    def test_writer_refuses_directory_with_existing_store(self, tmp_path):
+        # Reuse would restart seq numbering inside the old run's
+        # segments and cross-contaminate the two runs.
+        directory = str(tmp_path / "store")
+        _fill(directory, 3)
+        with pytest.raises(StoreError, match="already holds a store"):
+            StoreWriter(directory)
+
+    def test_writer_refuses_directory_with_segments_but_no_manifest(
+            self, tmp_path):
+        # Even a crashed previous run (segments, no manifest) is data
+        # the reader must recover — never a base for new appends.
+        directory = str(tmp_path / "store")
+        _fill(directory, 3, seal=False)
+        os.remove(os.path.join(directory, STORE_MANIFEST_FILENAME))
+        with pytest.raises(StoreError, match="already holds a store"):
+            StoreWriter(directory)
+
+    def test_writer_accepts_empty_or_fresh_directory(self, tmp_path):
+        os.makedirs(tmp_path / "empty")
+        StoreWriter(str(tmp_path / "empty")).seal()
+        StoreWriter(str(tmp_path / "fresh")).seal()
+
     def test_same_data_twice_is_byte_identical(self, tmp_path):
         a, b = str(tmp_path / "a"), str(tmp_path / "b")
         _fill(a, 7)
@@ -176,6 +199,54 @@ class TestCorruption:
         directory = str(tmp_path / "store")
         _fill(directory, 20, segment_max=4)
         assert StoreReader.open(directory).verify() == []
+
+    def test_rescan_does_not_duplicate_quarantine_bookkeeping(
+            self, tmp_path):
+        # GroupedView and repeated counts() re-scan segments; the same
+        # corrupt segment must be dead-lettered and counted exactly once.
+        directory = str(tmp_path / "store")
+        _fill(directory, 9, segment_max=3)
+        self._corrupt(_segment_path(directory, seq=1))
+        quarantine = QuarantineStore()
+        reader = StoreReader.open(directory, quarantine=quarantine)
+        reader.counts()
+        reader.counts()
+        grouped = reader.grouped("listings", "offer_url")
+        grouped.counts()
+        list(grouped.iter_group("u0"))
+        assert reader.quarantined_segments == 1
+        assert quarantine.total == 1
+
+    def test_rescan_does_not_recount_recovered_tail(self, tmp_path):
+        directory = str(tmp_path / "store")
+        _fill(directory, 5, segment_max=100, seal=False)
+        with open(_segment_path(directory), "ab") as handle:
+            handle.write(b'{"offer_url": "torn mid-wri')
+        reader = StoreReader.open(directory)
+        assert reader.count("listings") == 5
+        assert reader.count("listings") == 5
+        assert reader.recovered_tails == 1
+        assert reader.recovered_lines_dropped == 1
+
+    def test_records_after_footer_are_quarantined_not_served(
+            self, tmp_path):
+        # A sealed-but-unclaimed segment with bytes appended past its
+        # footer: the post-footer lines are bogus (nothing legitimately
+        # appends to a sealed segment) and must never be yielded.
+        directory = str(tmp_path / "store")
+        _fill(directory, 3, segment_max=3, seal=False)
+        os.remove(os.path.join(directory, STORE_MANIFEST_FILENAME))
+        with open(_segment_path(directory), "ab") as handle:
+            handle.write(b'{"offer_url": "smuggled", "i": 99}\n')
+        quarantine = QuarantineStore()
+        reader = StoreReader.open(directory, quarantine=quarantine)
+        records = list(reader.iter_records("listings"))
+        assert [r["i"] for r in records] == [0, 1, 2]
+        assert quarantine.total == 1
+        assert reader.verify() == [
+            f"{segment_name('listings', 0)}: "
+            f"data after sealed footer in tail segment"
+        ]
 
     def test_bit_flip_on_read_is_caught_by_checksum(self, tmp_path):
         directory = str(tmp_path / "store")
