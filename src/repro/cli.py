@@ -48,6 +48,16 @@ Commands
     the fleet dashboard), and evaluate the deterministic anomaly rules —
     ``alerts`` exits 1 when any rule fires, writing ``alerts.json`` with
     ``--out``.
+``serve build|query|bench``
+    The serving layer: ``build`` ingests one or more run directories
+    (flat or segmented-store layout) into a read-optimized SQLite
+    catalog with a deterministic ``catalog.json`` manifest (idempotent:
+    unchanged sources are a no-op); ``query`` issues one HTTP request
+    against the catalog API and prints the JSON body (exit 1 on an HTTP
+    error status, 2 on a missing/corrupt catalog); ``bench`` drives
+    thousands of seeded simulated clients through the API and reports
+    p50/p95 latency plus the content-hash cache hit rate, writing
+    ``BENCH_serve.json`` with ``--out``.
 ``monitor run|status``
     The supervised continuous-measurement daemon: run the full pipeline
     every ``--interval`` simulated seconds for ``--cycles`` cycles (or
@@ -133,6 +143,16 @@ from repro.monitor import (
     render_status,
 )
 from repro.obs.report_html import REPORT_FILENAME
+from repro.serve import (
+    CATALOG_HOST,
+    Catalog,
+    CatalogError,
+    build_catalog,
+    build_catalog_site,
+    render_serve_bench,
+    run_serve_bench,
+    write_serve_bench,
+)
 from repro.store import (
     StoreError,
     StoreReader,
@@ -141,6 +161,9 @@ from repro.store import (
     save_dataset,
 )
 from repro.util.fileio import atomic_write_json
+from repro.util.simtime import SimClock
+from repro.web.http import Request
+from repro.web.server import Internet
 
 META_FILENAME = "study_meta.json"
 
@@ -706,7 +729,10 @@ def cmd_runs_list(args: argparse.Namespace) -> int:
     if not rows:
         print("no runs registered")
         return 0
-    for run in rows:
+    # Sorted by run id (content-derived), not ingestion seq, and without
+    # the wall-clock ingestion stamp: two state dirs holding the same
+    # runs list byte-identically no matter when they were ingested.
+    for run in sorted(rows, key=lambda run: run.run_id):
         scorecard = (
             "-" if run.scorecard_passed is None
             else "PASS" if run.scorecard_passed else "FAIL"
@@ -714,7 +740,7 @@ def cmd_runs_list(args: argparse.Namespace) -> int:
         print(
             f"{run.seq:>4}  {run.run_id}  seed={run.seed}  "
             f"config={run.config_hash}  chaos={run.chaos or 'off'}  "
-            f"scorecard={scorecard}  ingested={run.ingested_at}"
+            f"scorecard={scorecard}"
         )
     return 0
 
@@ -838,12 +864,79 @@ def cmd_data_stats(args: argparse.Namespace) -> int:
              if manifest.get("partial") else ""))
     print(f"segments: {len(sealed)} sealed, "
           f"{sum(e['bytes'] for e in sealed):,} record bytes")
-    for record_type, count in counts.items():
+    # Explicitly sorted by record type: the stats for twin store dirs
+    # must be byte-identical regardless of dict/manifest ordering.
+    for record_type, count in sorted(counts.items()):
         print(f"  {record_type}: {count} record(s)")
     if reader.recovered_tails:
         print(f"recovered tails: {reader.recovered_tails}")
     if reader.quarantined_segments:
         print(f"quarantined segments: {reader.quarantined_segments}")
+    return 0
+
+
+def cmd_serve_build(args: argparse.Namespace) -> int:
+    try:
+        result = build_catalog(args.run_dirs, args.out)
+    except (CatalogError, StoreError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    tables = ", ".join(
+        f"{name}={count}" for name, count in sorted(result.tables.items())
+    )
+    verb = "built" if result.rebuilt else "up to date"
+    print(f"catalog {result.directory} {verb}: "
+          f"digest {result.content_digest[:16]} ({tables})")
+    return 0
+
+
+def cmd_serve_query(args: argparse.Namespace) -> int:
+    try:
+        catalog = Catalog.open(args.catalog_dir)
+    except CatalogError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        clock = SimClock()
+        internet = Internet(clock=clock)
+        site, _api = build_catalog_site(catalog, clock=clock)
+        internet.register(site)
+        path = args.path if args.path.startswith("/") else "/" + args.path
+        response = internet.fetch(
+            Request(method="GET", url=f"http://{CATALOG_HOST}{path}"),
+            client_id="cli",
+        )
+    finally:
+        catalog.close()
+    try:
+        body = json.dumps(json.loads(response.body), indent=2,
+                          sort_keys=True)
+    except ValueError:
+        body = response.body
+    if response.status != 200:
+        print(f"HTTP {response.status}", file=sys.stderr)
+        print(body, file=sys.stderr)
+        return 1
+    print(body)
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    try:
+        document = run_serve_bench(
+            args.catalog_dir,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            distinct_queries=args.queries,
+            seed=args.seed,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except CatalogError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_serve_bench(document))
+    if args.out:
+        print(f"wrote {write_serve_bench(args.out, document)}")
     return 0
 
 
@@ -1077,6 +1170,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dstats_parser.add_argument("store_dir")
     dstats_parser.set_defaults(handler=cmd_data_stats)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="the serving layer: build a read-optimized catalog from run "
+             "dirs, query its HTTP API, or load-test it",
+    )
+    serve_commands = serve_parser.add_subparsers(dest="serve_command",
+                                                 required=True)
+    sbuild_parser = serve_commands.add_parser(
+        "build",
+        help="ingest run directories (one cycle each, in order) into a "
+             "SQLite catalog + deterministic catalog.json manifest; "
+             "idempotent when the sources are unchanged",
+    )
+    sbuild_parser.add_argument("run_dirs", nargs="+", metavar="RUN_DIR",
+                               help="saved runs ('run --out' or "
+                                    "'run --store-dir' layout)")
+    sbuild_parser.add_argument("--out", required=True, metavar="DIR",
+                               help="the catalog directory")
+    sbuild_parser.set_defaults(handler=cmd_serve_build)
+    squery_parser = serve_commands.add_parser(
+        "query",
+        help="issue one GET against the catalog API and print the JSON "
+             "body (exit 1 on HTTP error, 2 on missing/corrupt catalog)",
+    )
+    squery_parser.add_argument("catalog_dir")
+    squery_parser.add_argument(
+        "path",
+        help="API path with query string, e.g. "
+             "'/api/listings?marketplace=m1&limit=5'",
+    )
+    squery_parser.set_defaults(handler=cmd_serve_query)
+    sbench_parser = serve_commands.add_parser(
+        "bench",
+        help="drive seeded simulated clients through the catalog API; "
+             "report p50/p95 latency and cache hit rate",
+    )
+    sbench_parser.add_argument("catalog_dir")
+    sbench_parser.add_argument("--clients", type=int, default=1000,
+                               help="simulated client population")
+    sbench_parser.add_argument("--requests", type=int, default=5,
+                               help="requests per client")
+    sbench_parser.add_argument("--queries", type=int, default=200,
+                               help="distinct-query pool size (repeated-"
+                                    "query workload)")
+    sbench_parser.add_argument("--seed", type=int, default=7)
+    sbench_parser.add_argument("--out", default=None, metavar="PATH",
+                               help="write BENCH_serve.json here "
+                                    "(file or directory)")
+    sbench_parser.set_defaults(handler=cmd_serve_bench)
 
     monitor_parser = commands.add_parser(
         "monitor",

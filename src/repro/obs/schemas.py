@@ -49,6 +49,15 @@ MONITOR_LEDGER_SCHEMA = "repro.monitor-ledger/v1"
 #: ``store.json`` — the segmented dataset store's sealed manifest
 #: (:mod:`repro.store`).
 STORE_SCHEMA = "repro.store/v1"
+#: ``catalog.json`` — the read-optimized serving catalog's manifest
+#: (:mod:`repro.serve.catalog`).
+CATALOG_SCHEMA = "repro.catalog/v1"
+#: Every JSON body the catalog HTTP API serves
+#: (:mod:`repro.serve.api`).
+CATALOG_API_SCHEMA = "repro.catalog-api/v1"
+#: ``BENCH_serve.json`` — the serving-layer load-generator bench
+#: (:mod:`repro.serve.bench`).
+BENCH_SERVE_SCHEMA = "repro.bench-serve/v1"
 
 #: Every schema id this codebase knows how to read or write.
 KNOWN_SCHEMAS = frozenset({
@@ -64,6 +73,9 @@ KNOWN_SCHEMAS = frozenset({
     ALERTS_SCHEMA,
     MONITOR_LEDGER_SCHEMA,
     STORE_SCHEMA,
+    CATALOG_SCHEMA,
+    CATALOG_API_SCHEMA,
+    BENCH_SERVE_SCHEMA,
 })
 
 #: Telemetry-dir artifact file -> the schema id its contents must carry.
@@ -77,6 +89,8 @@ ARTIFACT_SCHEMAS: Dict[str, str] = {
     "BENCH_pipeline.json": BENCH_SCHEMA,
     "archive.json": ARCHIVE_SCHEMA,
     "alerts.json": ALERTS_SCHEMA,
+    "catalog.json": CATALOG_SCHEMA,
+    "BENCH_serve.json": BENCH_SERVE_SCHEMA,
 }
 
 
@@ -143,6 +157,9 @@ __all__ = [
     "ARCHIVE_SCHEMA",
     "ARTIFACT_SCHEMAS",
     "BENCH_SCHEMA",
+    "BENCH_SERVE_SCHEMA",
+    "CATALOG_API_SCHEMA",
+    "CATALOG_SCHEMA",
     "KNOWN_SCHEMAS",
     "MANIFEST_SCHEMA",
     "METRICS_SCHEMA",

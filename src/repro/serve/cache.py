@@ -1,0 +1,98 @@
+"""Content-hash response cache for the catalog API.
+
+Every cache key is ``(endpoint, canonical params, catalog content
+digest)``.  The digest is the catalog's :mod:`content digest
+<repro.serve.catalog>` — it changes exactly when the underlying data
+does, so **invalidation is free**: a rebuilt catalog simply stops
+producing hits for the old digest, and the stale entries age out of the
+LRU without any explicit flush protocol.
+
+Hits and misses are counted in ``catalog_cache_hits_total`` /
+``catalog_cache_misses_total`` (labelled by endpoint), the numbers the
+serve bench turns into its hit-rate figure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+#: Default entry budget.  Sized well above the bench's distinct-query
+#: pool so a repeated-query workload is eviction-free.
+DEFAULT_MAX_ENTRIES = 4096
+
+CacheKey = Tuple[str, Tuple[Tuple[str, str], ...], str]
+
+
+def cache_key(endpoint: str, params: Dict[str, str],
+              digest: str) -> CacheKey:
+    """The canonical key: endpoint name, sorted params, content digest."""
+    return (endpoint,
+            tuple(sorted((str(k), str(v)) for k, v in params.items())),
+            digest)
+
+
+class ResponseCache:
+    """A bounded LRU of rendered (status, body) response pairs."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, Tuple[int, str]]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        telemetry = telemetry or NULL_TELEMETRY
+        self._m_hits = telemetry.metrics.counter(
+            "catalog_cache_hits_total",
+            "catalog API responses served from the content-hash cache",
+            labels=("endpoint",),
+        )
+        self._m_misses = telemetry.metrics.counter(
+            "catalog_cache_misses_total",
+            "catalog API responses computed on a cache miss",
+            labels=("endpoint",),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Tuple[int, str]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self._m_misses.inc(endpoint=key[0])
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._m_hits.inc(endpoint=key[0])
+        return entry
+
+    def put(self, key: CacheKey, status: int, body: str) -> None:
+        self._entries[key] = (status, body)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+__all__ = ["DEFAULT_MAX_ENTRIES", "ResponseCache", "cache_key"]

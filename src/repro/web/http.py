@@ -15,6 +15,7 @@ BAD_REQUEST = 400
 UNAUTHORIZED = 401
 FORBIDDEN = 403
 NOT_FOUND = 404
+METHOD_NOT_ALLOWED = 405
 TOO_MANY_REQUESTS = 429
 INTERNAL_SERVER_ERROR = 500
 BAD_GATEWAY = 502
@@ -41,6 +42,7 @@ REASONS = {
     UNAUTHORIZED: "Unauthorized",
     FORBIDDEN: "Forbidden",
     NOT_FOUND: "Not Found",
+    METHOD_NOT_ALLOWED: "Method Not Allowed",
     TOO_MANY_REQUESTS: "Too Many Requests",
     INTERNAL_SERVER_ERROR: "Internal Server Error",
     BAD_GATEWAY: "Bad Gateway",
@@ -208,6 +210,7 @@ __all__ = [
     "FOUND",
     "GATEWAY_TIMEOUT",
     "INTERNAL_SERVER_ERROR",
+    "METHOD_NOT_ALLOWED",
     "MOVED_PERMANENTLY",
     "NOT_FOUND",
     "OK",

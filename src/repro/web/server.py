@@ -38,18 +38,27 @@ class Route:
         for token in re.split(r"(<[a-zA-Z_][a-zA-Z0-9_]*>)", self.pattern):
             match = _PARAM_RE.fullmatch(token)
             if match:
+                # One path segment, at least one character: an empty
+                # segment (``/listing//view``) is not a parameter value.
                 parts.append(f"(?P<{match.group(1)}>[^/]+)")
             else:
                 parts.append(re.escape(token))
         self._regex = re.compile("^" + "".join(parts) + "$")
 
-    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
-        if method != self.method:
-            return None
+    def match_path(self, path: str) -> Optional[Dict[str, str]]:
+        """Match the path alone (any method); used for 405 detection."""
         found = self._regex.match(path)
         if not found:
             return None
-        return found.groupdict()
+        params = found.groupdict()
+        if any(not value for value in params.values()):
+            return None
+        return params
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        if method != self.method:
+            return None
+        return self.match_path(path)
 
 
 class Site:
@@ -122,26 +131,41 @@ class Site:
     def handle(self, request: Request, client_id: str = "anon") -> Response:
         """Dispatch one request to this site."""
         self.request_count += 1
-        bucket = self._bucket_for(client_id)
-        if bucket is not None and not bucket.try_take():
-            response = http.error_response(http.TOO_MANY_REQUESTS)
-            response.headers["Retry-After"] = f"{bucket.delay_until_ready():.1f}"
-            return self._finish(request, response)
         path = url_path(request.url)
-        request.params = {**parse_query(request.url), **request.params}
-        for route in self._routes:
-            params = route.match(request.method, path)
-            if params is not None:
-                request.path_params = params
-                try:
-                    response = route.handler(request)
-                except http.HttpError:
-                    raise
-                except Exception as exc:  # site bug -> 500, like a real server
-                    response = http.error_response(
-                        http.INTERNAL_SERVER_ERROR, f"<html><body>error: {exc}</body></html>"
-                    )
+        # robots.txt is exempt from rate limiting: a crawler must always
+        # be able to learn the rules, even when its budget is exhausted —
+        # throttling the policy file would teach clients to skip it.
+        if path != "/robots.txt":
+            bucket = self._bucket_for(client_id)
+            if bucket is not None and not bucket.try_take():
+                response = http.error_response(http.TOO_MANY_REQUESTS)
+                response.headers["Retry-After"] = f"{bucket.delay_until_ready():.1f}"
                 return self._finish(request, response)
+        request.params = {**parse_query(request.url), **request.params}
+        allowed_methods: List[str] = []
+        for route in self._routes:
+            params = route.match_path(path)
+            if params is None:
+                continue
+            if route.method != request.method:
+                allowed_methods.append(route.method)
+                continue
+            request.path_params = params
+            try:
+                response = route.handler(request)
+            except http.HttpError:
+                raise
+            except Exception as exc:  # site bug -> 500, like a real server
+                response = http.error_response(
+                    http.INTERNAL_SERVER_ERROR, f"<html><body>error: {exc}</body></html>"
+                )
+            return self._finish(request, response)
+        if allowed_methods:
+            # The path exists, the verb does not: 405 with Allow, not a
+            # 404 that would make the resource look absent.
+            response = http.error_response(http.METHOD_NOT_ALLOWED)
+            response.headers["Allow"] = ", ".join(sorted(set(allowed_methods)))
+            return self._finish(request, response)
         return self._finish(request, http.error_response(http.NOT_FOUND))
 
     def _finish(self, request: Request, response: Response) -> Response:

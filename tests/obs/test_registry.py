@@ -242,3 +242,21 @@ class TestRunsCli:
         assert main(["runs", "list",
                      "--registry", str(tmp_path / "none.sqlite")]) == 2
         assert "no run registry" in capsys.readouterr().err
+
+    def test_list_is_byte_identical_across_twin_registries(
+            self, telemetry_dir, tmp_path, capsys):
+        """Ingesting the same run into two registries at different times
+        must list identically: sorted by run id, no wall-clock column."""
+        twin_a = str(tmp_path / "a.sqlite")
+        twin_b = str(tmp_path / "b.sqlite")
+        assert main(["runs", "ingest", telemetry_dir,
+                     "--registry", twin_a]) == 0
+        assert main(["runs", "ingest", telemetry_dir,
+                     "--registry", twin_b]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--registry", twin_a]) == 0
+        out_a = capsys.readouterr().out
+        assert main(["runs", "list", "--registry", twin_b]) == 0
+        out_b = capsys.readouterr().out
+        assert out_a == out_b
+        assert "ingested=" not in out_a

@@ -41,6 +41,15 @@ class TestRegistryOfIds:
         assert WRITER_ARCHIVE_SCHEMA is schemas.ARCHIVE_SCHEMA
         assert BENCH_MODULE_SCHEMA is schemas.BENCH_SCHEMA
 
+    def test_serving_layer_ids_registered(self):
+        assert schemas.CATALOG_SCHEMA == "repro.catalog/v1"
+        assert schemas.BENCH_SERVE_SCHEMA == "repro.bench-serve/v1"
+        assert schemas.CATALOG_API_SCHEMA in schemas.KNOWN_SCHEMAS
+        assert schemas.ARTIFACT_SCHEMAS["catalog.json"] \
+            is schemas.CATALOG_SCHEMA
+        assert schemas.ARTIFACT_SCHEMAS["BENCH_serve.json"] \
+            is schemas.BENCH_SERVE_SCHEMA
+
 
 class TestChecks:
     def test_check_schema_passes_on_match(self):
@@ -131,6 +140,28 @@ class TestEveryEmittedArtifactCarriesAKnownId:
         manifest = build_manifest({"seed": 1}, object(), NULL_TELEMETRY)
         (run_dir / "manifest.json").write_text(json.dumps(manifest))
         self._assert_known(trace_document(str(run_dir)))
+
+    def test_catalog_manifest_and_serve_bench(self, tmp_path):
+        from repro.core.dataset import ListingRecord, MeasurementDataset
+        from repro.serve import build_catalog, manifest_document
+        from repro.serve.bench import run_serve_bench
+
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        MeasurementDataset(listings=[
+            ListingRecord(offer_url=f"http://m/offer/{i}", marketplace="m",
+                          price_usd=10.0 + i)
+            for i in range(3)
+        ]).save(str(run_dir))
+        catalog_dir = str(tmp_path / "catalog")
+        build_catalog([str(run_dir)], catalog_dir)
+        manifest = manifest_document(catalog_dir)
+        self._assert_known(manifest)
+        schemas.check_artifact("catalog.json", manifest)
+        bench = run_serve_bench(catalog_dir, clients=4,
+                                requests_per_client=2, distinct_queries=4)
+        self._assert_known(bench)
+        schemas.check_artifact("BENCH_serve.json", bench)
 
     def test_registry_meta(self, tmp_path):
         path = str(tmp_path / "runs.sqlite")

@@ -1,0 +1,190 @@
+"""The catalog HTTP API: endpoints, filters, errors, caching."""
+
+import json
+
+import pytest
+
+from repro.obs.schemas import CATALOG_API_SCHEMA
+from repro.serve import CATALOG_HOST, Catalog, build_catalog_site
+from repro.util.simtime import SimClock
+from repro.web.http import Request
+from repro.web.server import Internet
+
+
+@pytest.fixture()
+def served(catalog_dir):
+    catalog = Catalog.open(catalog_dir)
+    clock = SimClock()
+    internet = Internet(clock=clock)
+    site, api = build_catalog_site(catalog, clock=clock)
+    internet.register(site)
+    yield internet, api
+    catalog.close()
+
+
+def get(internet, path, method="GET"):
+    response = internet.fetch(
+        Request(method=method, url=f"http://{CATALOG_HOST}{path}"),
+        client_id="test",
+    )
+    try:
+        return response, json.loads(response.body)
+    except ValueError:
+        return response, None
+
+
+class TestEndpoints:
+    def test_every_endpoint_carries_schema_and_digest(self, served):
+        internet, api = served
+        for path in ("/api/catalog", "/api/listings", "/api/listings/1",
+                     "/api/sellers", "/api/sellers/1",
+                     "/api/price-history", "/api/scorecard",
+                     "/api/diff?from=0&to=1"):
+            response, document = get(internet, path)
+            assert response.status == 200, path
+            assert document["schema"] == CATALOG_API_SCHEMA, path
+            assert document["digest"] == api.catalog.digest, path
+            assert document["endpoint"], path
+
+    def test_catalog_summary(self, served):
+        internet, _ = served
+        _, document = get(internet, "/api/catalog")
+        assert document["cycles"] == [0, 1]
+        assert document["tables"]["listings"] == 24
+
+    def test_listings_filter_and_pagination(self, served):
+        internet, _ = served
+        _, document = get(
+            internet, "/api/listings?marketplace=alphabay&limit=5")
+        assert document["total"] == 12
+        assert len(document["results"]) == 5
+        assert all(r["marketplace"] == "alphabay"
+                   for r in document["results"])
+        _, page2 = get(
+            internet,
+            "/api/listings?marketplace=alphabay&limit=5&offset=10")
+        assert len(page2["results"]) == 2
+
+    def test_listings_price_filter_and_sort(self, served):
+        internet, _ = served
+        _, document = get(
+            internet, "/api/listings?price_min=30&price_max=45&sort=-price")
+        prices = [r["price_usd"] for r in document["results"]]
+        assert prices == sorted(prices, reverse=True)
+        assert all(30 <= p <= 45 for p in prices)
+
+    def test_listing_detail_and_seller_join(self, served):
+        internet, _ = served
+        _, document = get(internet, "/api/listings/1")
+        listing = document["listing"]
+        assert listing["id"] == 1
+        assert isinstance(listing["seller_id"], int)
+        _, seller_doc = get(internet,
+                            f"/api/sellers/{listing['seller_id']}")
+        assert seller_doc["seller"]["id"] == listing["seller_id"]
+        assert any(entry["id"] == 1 for entry in seller_doc["listings"])
+
+    def test_sellers_directory(self, served):
+        internet, _ = served
+        _, document = get(internet, "/api/sellers?min_listings=1")
+        assert document["total"] == 6
+        counts = [r["n_listings"] for r in document["results"]]
+        assert counts == sorted(counts, reverse=True)
+        assert all(isinstance(r["platforms"], list)
+                   for r in document["results"])
+
+    def test_price_history_series(self, served):
+        internet, _ = served
+        _, document = get(internet,
+                          "/api/price-history?marketplace=alphabay")
+        assert document["series"]
+        for series in document["series"]:
+            assert series["marketplace"] == "alphabay"
+            cycles = [point["cycle"] for point in series["points"]]
+            assert cycles == sorted(cycles)
+            assert all(point["n"] > 0 for point in series["points"])
+
+    def test_scorecard_defaults_to_latest_cycle(self, served):
+        internet, _ = served
+        _, document = get(internet, "/api/scorecard")
+        assert document["cycle"] == 1
+        names = [entry["name"] for entry in document["entries"]]
+        assert names == ["coverage", "price_median"]
+        _, cycle0 = get(internet, "/api/scorecard?cycle=0")
+        assert cycle0["cycle"] == 0
+
+    def test_diff_deltas(self, served):
+        internet, _ = served
+        _, document = get(internet, "/api/diff?from=0&to=1")
+        assert document["from"] == 0 and document["to"] == 1
+        market = document["listings_by_marketplace"]["alphabay"]
+        assert market["from"] == market["to"] == 6
+        assert market["delta"] == 0
+        # run1 was built with a +5.0 price shift on every listing.
+        for delta in document["median_price_by_series"].values():
+            assert delta["delta"] == pytest.approx(5.0)
+        score = document["scorecard_values"]["price_median"]
+        assert score["delta"] == pytest.approx(2.5)
+
+
+class TestErrors:
+    def test_bad_params_are_400(self, served):
+        internet, _ = served
+        for path in ("/api/listings?sort=name",
+                     "/api/listings?limit=0",
+                     "/api/listings?price_min=cheap",
+                     "/api/listings?cycle=x",
+                     "/api/diff",
+                     "/api/diff?from=0"):
+            response, document = get(internet, path)
+            assert response.status == 400, path
+            assert document["error"], path
+            assert document["schema"] == CATALOG_API_SCHEMA, path
+
+    def test_unknown_ids_and_cycles_are_404(self, served):
+        internet, _ = served
+        for path in ("/api/listings/999999", "/api/sellers/999999",
+                     "/api/scorecard?cycle=7", "/api/diff?from=0&to=7"):
+            response, document = get(internet, path)
+            assert response.status == 404, path
+            assert document["error"], path
+
+    def test_unrouted_path_is_404(self, served):
+        internet, _ = served
+        response, _ = get(internet, "/api/nothing")
+        assert response.status == 404
+
+    def test_wrong_method_is_405(self, served):
+        internet, _ = served
+        response, _ = get(internet, "/api/catalog", method="POST")
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET"
+
+    def test_limit_is_capped(self, served):
+        internet, _ = served
+        _, document = get(internet, "/api/listings?limit=100000")
+        assert document["limit"] == 100
+
+
+class TestCaching:
+    def test_second_request_is_a_hit_with_identical_body(self, served):
+        internet, api = served
+        first, _ = get(internet, "/api/listings?marketplace=bazaar")
+        assert api.cache.misses == 1 and api.cache.hits == 0
+        second, _ = get(internet, "/api/listings?marketplace=bazaar")
+        assert api.cache.hits == 1
+        assert first.body == second.body
+
+    def test_param_order_does_not_split_entries(self, served):
+        internet, api = served
+        get(internet, "/api/listings?marketplace=bazaar&limit=5")
+        get(internet, "/api/listings?limit=5&marketplace=bazaar")
+        assert api.cache.hits == 1
+        assert api.cache.misses == 1
+
+    def test_error_responses_are_cached_too(self, served):
+        internet, api = served
+        get(internet, "/api/listings/999999")
+        response, _ = get(internet, "/api/listings/999999")
+        assert response.status == 404
+        assert api.cache.hits == 1

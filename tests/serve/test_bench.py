@@ -1,0 +1,73 @@
+"""The serve load generator: workload shape, determinism, artifact."""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.obs.schemas import BENCH_SERVE_SCHEMA
+from repro.serve import Catalog
+from repro.serve.bench import (
+    BENCH_SERVE_FILENAME,
+    build_query_pool,
+    run_serve_bench,
+    write_serve_bench,
+)
+
+
+@pytest.fixture()
+def bench_doc(catalog_dir):
+    return run_serve_bench(catalog_dir, clients=50, requests_per_client=4,
+                           distinct_queries=25, seed=3)
+
+
+class TestWorkload:
+    def test_pool_is_distinct_and_seed_stable(self, catalog_dir):
+        with Catalog.open(catalog_dir) as catalog:
+            pool_a = build_query_pool(catalog, random.Random(5), 30)
+            pool_b = build_query_pool(catalog, random.Random(5), 30)
+        assert pool_a == pool_b
+        urls = [url for _, url in pool_a]
+        assert len(set(urls)) == len(urls) == 30
+        endpoints = {endpoint for endpoint, _ in pool_a}
+        assert "listings" in endpoints
+
+    def test_document_shape(self, bench_doc):
+        assert bench_doc["schema"] == BENCH_SERVE_SCHEMA
+        assert bench_doc["requests_total"] == 200
+        assert bench_doc["statuses"] == {"200": 200}
+        assert bench_doc["latency"]["p50_ms"] >= 0
+        assert bench_doc["latency"]["p95_ms"] >= \
+            bench_doc["latency"]["p50_ms"]
+        assert sum(stats["count"]
+                   for stats in bench_doc["per_endpoint"].values()) == 200
+        assert bench_doc["server_requests"] == 200
+        assert len(bench_doc["catalog_digest"]) == 64
+
+    def test_repeated_query_workload_hits_cache(self, bench_doc):
+        cache = bench_doc["cache"]
+        assert cache["misses"] == bench_doc["distinct_queries"]
+        assert cache["hits"] == 200 - cache["misses"]
+        assert cache["hit_rate"] > 0.8
+
+    def test_deterministic_counts_across_runs(self, catalog_dir):
+        a = run_serve_bench(catalog_dir, clients=20, requests_per_client=3,
+                            distinct_queries=10, seed=11)
+        b = run_serve_bench(catalog_dir, clients=20, requests_per_client=3,
+                            distinct_queries=10, seed=11)
+        for key in ("statuses", "cache", "distinct_queries",
+                    "catalog_digest"):
+            assert a[key] == b[key]
+
+    def test_rejects_nonpositive_load(self, catalog_dir):
+        with pytest.raises(ValueError):
+            run_serve_bench(catalog_dir, clients=0)
+
+
+class TestArtifact:
+    def test_write_into_directory(self, bench_doc, tmp_path):
+        path = write_serve_bench(str(tmp_path), bench_doc)
+        assert os.path.basename(path) == BENCH_SERVE_FILENAME
+        document = json.load(open(path))
+        assert document["schema"] == BENCH_SERVE_SCHEMA

@@ -1,0 +1,87 @@
+"""The content-hash response cache: keys, LRU bounds, counters."""
+
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.serve.cache import ResponseCache, cache_key
+
+
+class TestKeys:
+    def test_params_are_canonicalized(self):
+        a = cache_key("listings", {"b": "2", "a": "1"}, "digest")
+        b = cache_key("listings", {"a": "1", "b": "2"}, "digest")
+        assert a == b
+
+    def test_digest_partitions_the_space(self):
+        a = cache_key("listings", {"a": "1"}, "digest-one")
+        b = cache_key("listings", {"a": "1"}, "digest-two")
+        assert a != b
+
+    def test_endpoint_partitions_the_space(self):
+        assert cache_key("listings", {}, "d") != cache_key("sellers", {}, "d")
+
+
+class TestLru:
+    def test_hit_miss_counting(self):
+        cache = ResponseCache(max_entries=4)
+        key = cache_key("listings", {}, "d")
+        assert cache.get(key) is None
+        cache.put(key, 200, "{}")
+        assert cache.get(key) == (200, "{}")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_lru(self):
+        cache = ResponseCache(max_entries=2)
+        keys = [cache_key("e", {"i": str(i)}, "d") for i in range(3)]
+        cache.put(keys[0], 200, "0")
+        cache.put(keys[1], 200, "1")
+        assert cache.get(keys[0]) is not None  # refresh 0; 1 is now LRU
+        cache.put(keys[2], 200, "2")
+        assert cache.evictions == 1
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert len(cache) == 2
+
+    def test_stale_digest_entries_age_out(self):
+        """Invalidation is free: a rebuilt catalog's new digest misses,
+        and the old digest's entries are just LRU fodder."""
+        cache = ResponseCache(max_entries=2)
+        old = cache_key("listings", {}, "digest-old")
+        cache.put(old, 200, "old")
+        new = cache_key("listings", {}, "digest-new")
+        assert cache.get(new) is None
+        cache.put(new, 200, "new")
+        assert cache.get(new) == (200, "new")
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResponseCache(max_entries=0)
+
+
+class TestMetrics:
+    def test_counters_labelled_by_endpoint(self):
+        telemetry = Telemetry()
+        cache = ResponseCache(max_entries=4, telemetry=telemetry)
+        key = cache_key("listings", {}, "d")
+        cache.get(key)
+        cache.put(key, 200, "{}")
+        cache.get(key)
+        hits = telemetry.metrics.counter(
+            "catalog_cache_hits_total", "", labels=("endpoint",))
+        misses = telemetry.metrics.counter(
+            "catalog_cache_misses_total", "", labels=("endpoint",))
+        assert hits.value(endpoint="listings") == 1
+        assert misses.value(endpoint="listings") == 1
+
+    def test_stats_document(self):
+        cache = ResponseCache(max_entries=4)
+        key = cache_key("e", {}, "d")
+        cache.get(key)
+        cache.put(key, 200, "{}")
+        cache.get(key)
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1,
+            "evictions": 0, "hit_rate": 0.5,
+        }

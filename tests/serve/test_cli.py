@@ -1,0 +1,95 @@
+"""``repro serve build|query|bench`` end to end, via main()."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schemas import BENCH_SERVE_SCHEMA, CATALOG_API_SCHEMA
+
+from tests.serve.conftest import small_dataset, write_run
+
+
+@pytest.fixture()
+def built(tmp_path, run_dir, capsys):
+    out = str(tmp_path / "catalog")
+    assert main(["serve", "build", run_dir, "--out", out]) == 0
+    capsys.readouterr()
+    return out
+
+
+class TestBuild:
+    def test_build_then_noop(self, tmp_path, run_dir, capsys):
+        out = str(tmp_path / "catalog")
+        assert main(["serve", "build", run_dir, "--out", out]) == 0
+        assert "built" in capsys.readouterr().out
+        assert main(["serve", "build", run_dir, "--out", out]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_build_refuses_non_run_dir(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["serve", "build", str(empty),
+                     "--out", str(tmp_path / "catalog")]) == 2
+        assert "no dataset artifacts" in capsys.readouterr().err
+
+    def test_multi_cycle_build(self, tmp_path, run_dir, capsys):
+        second = write_run(str(tmp_path / "later"), small_dataset(3.0))
+        out = str(tmp_path / "catalog")
+        assert main(["serve", "build", run_dir, second,
+                     "--out", out]) == 0
+        assert "runs=2" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_prints_json(self, built, capsys):
+        assert main(["serve", "query", built, "/api/listings?limit=3"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == CATALOG_API_SCHEMA
+        assert len(document["results"]) == 3
+
+    def test_query_accepts_missing_leading_slash(self, built, capsys):
+        assert main(["serve", "query", built, "api/catalog"]) == 0
+        assert json.loads(capsys.readouterr().out)["endpoint"] == "catalog"
+
+    def test_http_error_exits_1(self, built, capsys):
+        assert main(["serve", "query", built, "/api/nothing"]) == 1
+        assert "HTTP 404" in capsys.readouterr().err
+        assert main(["serve", "query", built,
+                     "/api/listings?sort=bogus"]) == 1
+        assert "HTTP 400" in capsys.readouterr().err
+
+    def test_missing_catalog_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "query", str(tmp_path), "/api/catalog"]) == 2
+        assert "not a catalog" in capsys.readouterr().err
+
+    def test_corrupt_catalog_exits_2(self, built, capsys):
+        db_path = os.path.join(built, "catalog.db")
+        with open(db_path, "r+b") as handle:
+            handle.seek(64)
+            byte = handle.read(1)
+            handle.seek(64)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["serve", "query", built, "/api/catalog"]) == 2
+        assert "does not match" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_reports_and_writes(self, built, tmp_path, capsys):
+        out = str(tmp_path / "bench")
+        os.makedirs(out)
+        assert main(["serve", "bench", built, "--clients", "40",
+                     "--requests", "5", "--queries", "20",
+                     "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "p50" in output and "p95" in output
+        assert "hit rate" in output
+        document = json.load(
+            open(os.path.join(out, "BENCH_serve.json")))
+        assert document["schema"] == BENCH_SERVE_SCHEMA
+        assert document["requests_total"] == 200
+        assert document["cache"]["hit_rate"] > 0.8
+
+    def test_bench_missing_catalog_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "bench", str(tmp_path)]) == 2

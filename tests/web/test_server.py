@@ -31,6 +31,22 @@ class TestRoute:
         route = Route("GET", "/a/<x>/b/<y>", lambda r: http.html_response("ok"))
         assert route.match("GET", "/a/1/b/2") == {"x": "1", "y": "2"}
 
+    def test_empty_param_segment_rejected(self):
+        route = Route("GET", "/listing/<lid>/view",
+                      lambda r: http.html_response("ok"))
+        assert route.match("GET", "/listing//view") is None
+        assert route.match("GET", "/listing/7/view") == {"lid": "7"}
+
+    def test_trailing_slash_is_a_different_path(self):
+        route = Route("GET", "/listings", lambda r: http.html_response("ok"))
+        assert route.match("GET", "/listings") == {}
+        assert route.match("GET", "/listings/") is None
+
+    def test_match_path_ignores_method(self):
+        route = Route("POST", "/submit", lambda r: http.html_response("ok"))
+        assert route.match_path("/submit") == {}
+        assert route.match("GET", "/submit") is None
+
 
 class TestSite:
     def setup_method(self):
@@ -106,6 +122,64 @@ class TestSite:
         site.route("GET", "/", lambda r: http.html_response("ok"))
         assert site.handle(make_request("http://rl2.example/"), "a").status == 200
         assert site.handle(make_request("http://rl2.example/"), "b").status == 200
+
+    def test_robots_bypasses_rate_limit(self):
+        site = Site("rb.example", rate_limit_per_second=0.5,
+                    rate_limit_burst=1.0,
+                    robots_text="User-agent: *\nDisallow:\n")
+        site.route("GET", "/", lambda r: http.html_response("ok"))
+        assert site.handle(make_request("http://rb.example/"), "c").status == 200
+        # The bucket is exhausted for pages...
+        assert site.handle(make_request("http://rb.example/"), "c").status \
+            == http.TOO_MANY_REQUESTS
+        # ...but robots.txt stays reachable, repeatedly.
+        for _ in range(3):
+            response = site.handle(
+                make_request("http://rb.example/robots.txt"), "c")
+            assert response.status == 200
+
+    def test_robots_fetch_does_not_charge_the_bucket(self):
+        site = Site("rb2.example", rate_limit_per_second=0.5,
+                    rate_limit_burst=1.0)
+        site.route("GET", "/", lambda r: http.html_response("ok"))
+        for _ in range(5):
+            site.handle(make_request("http://rb2.example/robots.txt"), "c")
+        assert site.handle(make_request("http://rb2.example/"), "c").status \
+            == 200
+
+    def test_wrong_method_is_405_with_allow(self):
+        response = self.site.handle(
+            make_request("http://test.example/page", method="POST"))
+        assert response.status == http.METHOD_NOT_ALLOWED
+        assert response.header("Allow") == "GET"
+
+    def test_allow_lists_every_matching_method_sorted(self):
+        site = Site("m.example")
+        site.route("GET", "/thing", lambda r: http.html_response("ok"))
+        site.route("POST", "/thing", lambda r: http.html_response("ok"))
+        response = site.handle(
+            make_request("http://m.example/thing", method="HEAD"))
+        assert response.status == http.METHOD_NOT_ALLOWED
+        assert response.header("Allow") == "GET, POST"
+        # An unrouted path stays a plain 404, method notwithstanding.
+        response = site.handle(
+            make_request("http://m.example/nothing", method="POST"))
+        assert response.status == http.NOT_FOUND
+
+    def test_405_route_with_params_still_matches(self):
+        response = self.site.handle(
+            make_request("http://test.example/offer/9", method="POST"))
+        assert response.status == http.METHOD_NOT_ALLOWED
+        assert response.header("Allow") == "GET"
+
+    def test_overlapping_routes_first_registration_wins(self):
+        site = Site("o.example")
+        site.route("GET", "/item/static", lambda r: http.html_response("static"))
+        site.route("GET", "/item/<iid>", lambda r: http.html_response("param"))
+        assert site.handle(
+            make_request("http://o.example/item/static")).body == "static"
+        assert site.handle(
+            make_request("http://o.example/item/77")).body == "param"
 
 
 class TestInternet:
